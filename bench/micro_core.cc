@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the store's hot paths: write
+// throughput per cleaning policy, victim-selection cost vs device size,
+// and Zipfian sampling. Not from the paper — these quantify simulator
+// overheads so the table/figure benches' runtimes are explainable.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/uniform_model.h"
+#include "bench/bench_common.h"
+#include "core/policy_factory.h"
+#include "core/store.h"
+#include "util/zipf.h"
+#include "workload/runner.h"
+#include "workload/zipfian_workload.h"
+
+namespace lss {
+namespace {
+
+void BM_StoreWrite(benchmark::State& state) {
+  const Variant v = static_cast<Variant>(state.range(0));
+  StoreConfig cfg;
+  cfg.page_bytes = 4096;
+  cfg.segment_bytes = 128 * 4096;
+  cfg.num_segments = 256;
+  cfg.clean_trigger_segments = 4;
+  cfg.clean_batch_segments = 8;
+  cfg.write_buffer_segments = 8;
+  ApplyVariantConfig(v, &cfg);
+  auto store = LogStructuredStore::Create(cfg, MakePolicy(v));
+  if (VariantNeedsOracle(v)) {
+    store->SetExactFrequencyOracle([](PageId) { return 1.0; });
+  }
+  const uint64_t user_pages = bench::UserPagesFor(cfg, 0.8);
+  for (PageId p = 0; p < user_pages; ++p) {
+    benchmark::DoNotOptimize(store->Write(p));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Write(rng.NextBounded(user_pages)));
+  }
+  state.SetLabel(VariantName(v));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreWrite)
+    ->Arg(static_cast<int>(Variant::kGreedy))
+    ->Arg(static_cast<int>(Variant::kCostBenefit))
+    ->Arg(static_cast<int>(Variant::kMultiLog))
+    ->Arg(static_cast<int>(Variant::kMdc));
+
+void BM_VictimSelection(benchmark::State& state) {
+  StoreConfig cfg;
+  cfg.page_bytes = 4096;
+  cfg.segment_bytes = 64 * 4096;
+  cfg.num_segments = static_cast<uint32_t>(state.range(0));
+  cfg.clean_trigger_segments = 4;
+  cfg.clean_batch_segments = 16;
+  cfg.write_buffer_segments = 4;
+  auto store = LogStructuredStore::Create(cfg, MakePolicy(Variant::kMdc));
+  const uint64_t user_pages = bench::UserPagesFor(cfg, 0.8);
+  Rng rng(2);
+  for (PageId p = 0; p < user_pages; ++p) store->Write(p).ok();
+  for (uint64_t i = 0; i < 2 * user_pages; ++i) {
+    store->Write(rng.NextBounded(user_pages)).ok();
+  }
+  const auto& policy = store->policy();
+  std::vector<SegmentId> victims;
+  for (auto _ : state) {
+    victims.clear();
+    policy.SelectVictims(*store, 0, 16, &victims);
+    benchmark::DoNotOptimize(victims.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VictimSelection)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator z(1u << 20, 0.99);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_UniformModelFixpoint(benchmark::State& state) {
+  double f = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveSteadyStateEmptiness(f));
+    f = f < 0.95 ? f + 0.01 : 0.5;
+  }
+}
+BENCHMARK(BM_UniformModelFixpoint);
+
+}  // namespace
+}  // namespace lss
+
+BENCHMARK_MAIN();

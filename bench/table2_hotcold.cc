@@ -1,0 +1,71 @@
+// Reproduces Table 2: minimum cleaning cost when hot and cold data are
+// managed separately (F = 0.8), for the m:1-m distributions. Columns:
+// the analytic minimum (equal slack split, §3.2-3.3), the 60%/40% slack
+// splits, and the simulated MDC-opt cost (2/E at clean time), which the
+// paper reports matching the analytic minimum to two significant digits.
+
+#include <cstdio>
+
+#include "analysis/hotcold_model.h"
+#include "analysis/uniform_model.h"
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+#include "workload/runner.h"
+
+namespace lss {
+namespace {
+
+void Run() {
+  const double skews[] = {0.9, 0.8, 0.7, 0.6, 0.5001};
+  const double f = 0.8;
+
+  TablePrinter table({"Cold-Hot", "MinCost", "Hot:60%", "Hot:40%",
+                      "MDC-opt(sim)", "Wamp(opt)", "Wamp(sim)"});
+  // Larger segments than the shape-focused figures: victim-selection
+  // variance (which lets max-E selection beat the age-based fixpoint)
+  // shrinks with pages-per-segment, and this table is about matching the
+  // analytic values to ~2 digits (§8.1).
+  StoreConfig cfg = bench::DefaultConfig();
+  cfg.segment_bytes = 256 * 4096;
+  cfg.num_segments = 1024 * bench::ScaleFactor();
+  cfg.clean_trigger_segments = 4;
+  cfg.clean_batch_segments = 32;
+  for (double m : skews) {
+    const uint64_t user_pages = bench::UserPagesFor(cfg, f);
+    HotColdWorkload workload(user_pages, m);
+    const RunResult r =
+        RunSynthetic(cfg, Variant::kMdcOpt, workload, bench::DefaultSpec(f));
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "m=%.2f failed: %s\n", m,
+                   r.status.ToString().c_str());
+      continue;
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%d:%d",
+                  static_cast<int>(m * 100 + 0.5),
+                  static_cast<int>((1 - m) * 100 + 0.5));
+    // Simulated cost: the measured Wamp converted through Cost = 2/E,
+    // E = 1/(1+Wamp).
+    const double sim_cost = 2.0 * (1.0 + r.wamp);
+    table.AddRow({TablePrinter::Cell(label),
+                  TablePrinter::Cell(MinCostEqualSplit(f, m), 2),
+                  TablePrinter::Cell(EvaluateHotColdSplit(f, m, 0.6).cost, 2),
+                  TablePrinter::Cell(EvaluateHotColdSplit(f, m, 0.4).cost, 2),
+                  TablePrinter::Cell(sim_cost, 2),
+                  TablePrinter::Cell(OptimalWamp(f, m), 3),
+                  TablePrinter::Cell(r.wamp, 3)});
+  }
+  std::printf("Table 2: minimum cost when managing hot and cold data "
+              "separately (F = 0.8)\n");
+  std::printf("paper reference MinCost / MDC-opt: 2.96/2.96 4.00/3.99 "
+              "4.80/4.76 5.23/5.23 5.38/5.38\n\n");
+  table.Print(stdout);
+}
+
+}  // namespace
+}  // namespace lss
+
+int main() {
+  lss::Run();
+  return 0;
+}

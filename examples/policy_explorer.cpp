@@ -1,0 +1,95 @@
+// Policy explorer: a small command-line tool to compare cleaning policies
+// on a chosen synthetic workload and fill factor.
+//
+//   $ ./build/examples/policy_explorer [fill] [workload] [skew]
+//
+//     fill      fill factor in (0,1), default 0.8
+//     workload  uniform | hotcold | zipf     (default zipf)
+//     skew      hotcold: m in [0.5,1); zipf: theta > 0   (default 0.99)
+//
+// Example: ./build/examples/policy_explorer 0.9 hotcold 0.8
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/policy_factory.h"
+#include "util/table_printer.h"
+#include "workload/runner.h"
+#include "workload/zipfian_workload.h"
+
+int main(int argc, char** argv) {
+  using namespace lss;
+
+  double fill = 0.8;
+  const char* kind = "zipf";
+  double skew = 0.99;
+  if (argc > 1) fill = std::atof(argv[1]);
+  if (argc > 2) kind = argv[2];
+  if (argc > 3) skew = std::atof(argv[3]);
+  if (fill <= 0.05 || fill >= 0.99) {
+    std::fprintf(stderr, "fill factor must be in (0.05, 0.99)\n");
+    return 1;
+  }
+
+  StoreConfig config;
+  config.page_bytes = 4096;
+  config.segment_bytes = 128 * 4096;
+  config.num_segments = 512;
+  config.clean_trigger_segments = 4;
+  config.clean_batch_segments = 16;
+  config.write_buffer_segments = 16;
+
+  const uint64_t user_pages = config.UserPagesForFillFactor(fill);
+  std::unique_ptr<WorkloadGenerator> workload;
+  if (std::strcmp(kind, "uniform") == 0) {
+    workload = std::make_unique<UniformWorkload>(user_pages);
+  } else if (std::strcmp(kind, "hotcold") == 0) {
+    workload = std::make_unique<HotColdWorkload>(user_pages, skew);
+  } else if (std::strcmp(kind, "zipf") == 0) {
+    workload = std::make_unique<ZipfianWorkload>(user_pages, skew);
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", kind);
+    return 1;
+  }
+
+  std::printf("workload %s, fill factor %.2f, %llu user pages\n\n",
+              workload->name().c_str(), fill,
+              static_cast<unsigned long long>(user_pages));
+
+  TablePrinter table({"policy", "Wamp", "E(clean)", "vs MDC"});
+  double mdc_wamp = 0.0;
+  std::vector<std::pair<std::string, RunResult>> results;
+  for (Variant v : AllVariants()) {
+    if (v == Variant::kMdcNoSepUser || v == Variant::kMdcNoSepUserGc) {
+      continue;
+    }
+    RunSpec spec;
+    spec.fill_factor = fill;
+    spec.warmup_multiplier = 6;
+    spec.measure_multiplier = 8;
+    const RunResult r = RunSynthetic(config, v, *workload, spec);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", VariantName(v).c_str(),
+                   r.status.ToString().c_str());
+      continue;
+    }
+    if (v == Variant::kMdc) mdc_wamp = r.wamp;
+    results.emplace_back(VariantName(v), r);
+  }
+  for (const auto& [name, r] : results) {
+    char rel[16];
+    if (mdc_wamp > 0) {
+      std::snprintf(rel, sizeof(rel), "%+.0f%%",
+                    (r.wamp / mdc_wamp - 1.0) * 100.0);
+    } else {
+      std::snprintf(rel, sizeof(rel), "-");
+    }
+    table.AddRow({TablePrinter::Cell(name), TablePrinter::Cell(r.wamp, 3),
+                  TablePrinter::Cell(r.mean_clean_emptiness, 3),
+                  TablePrinter::Cell(rel)});
+  }
+  table.Print(stdout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "analysis/hotcold_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "analysis/uniform_model.h"
+
+namespace lss {
+
+HotColdSplit EvaluateHotColdSplit(double f, double m, double g_hot) {
+  assert(f > 0.0 && f < 1.0);
+  assert(m >= 0.5 && m < 1.0);
+  assert(g_hot > 0.0 && g_hot < 1.0);
+  const double slack = 1.0 - f;
+  const double data_hot = f * (1.0 - m);   // Dist1 = 1 - m of the data
+  const double data_cold = f * m;
+  const double s_hot = slack * g_hot;
+  const double s_cold = slack * (1.0 - g_hot);
+
+  HotColdSplit r;
+  r.fill_hot = data_hot / (data_hot + s_hot);
+  r.fill_cold = data_cold / (data_cold + s_cold);
+  r.emptiness_hot = SolveSteadyStateEmptiness(r.fill_hot);
+  r.emptiness_cold = SolveSteadyStateEmptiness(r.fill_cold);
+  // U1 = m of the updates go to the hot set.
+  r.cost = m * CostPerSegment(r.emptiness_hot) +
+           (1.0 - m) * CostPerSegment(r.emptiness_cold);
+  r.wamp = m * WampFromEmptiness(r.emptiness_hot) +
+           (1.0 - m) * WampFromEmptiness(r.emptiness_cold);
+  return r;
+}
+
+double MinCostEqualSplit(double f, double m) {
+  return EvaluateHotColdSplit(f, m, 0.5).cost;
+}
+
+double OptimalHotSlackShare(double f, double m) {
+  // Golden-section search; the cost is unimodal in g on (0, 1).
+  const double inv_phi = 0.5 * (std::sqrt(5.0) - 1.0);
+  double lo = 1e-4;
+  double hi = 1.0 - 1e-4;
+  double x1 = hi - inv_phi * (hi - lo);
+  double x2 = lo + inv_phi * (hi - lo);
+  double f1 = EvaluateHotColdSplit(f, m, x1).cost;
+  double f2 = EvaluateHotColdSplit(f, m, x2).cost;
+  for (int i = 0; i < 100; ++i) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - inv_phi * (hi - lo);
+      f1 = EvaluateHotColdSplit(f, m, x1).cost;
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + inv_phi * (hi - lo);
+      f2 = EvaluateHotColdSplit(f, m, x2).cost;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double OptimalWamp(double f, double m) {
+  const double g = OptimalHotSlackShare(f, m);
+  return EvaluateHotColdSplit(f, m, g).wamp;
+}
+
+}  // namespace lss

@@ -1,0 +1,46 @@
+#ifndef LSS_ANALYSIS_HOTCOLD_MODEL_H_
+#define LSS_ANALYSIS_HOTCOLD_MODEL_H_
+
+namespace lss {
+
+/// Analytic model for managing hot and cold data separately (paper §3,
+/// Table 2). A hot-cold distribution "m : 1-m" sends a fraction m of
+/// updates to a fraction 1-m of the data (80:20 means 80% of updates hit
+/// 20% of the pages).
+///
+/// Total space is divided so the hot set gets data D1 = F*(1-m) plus a
+/// share g1 of the slack (1-F), giving it fill factor
+///   F1 = D1 / (D1 + g1*(1-F)),
+/// and analogously for cold with g2 = 1 - g1. Each set is cleaned
+/// age-based in its own space, so its emptiness comes from the uniform
+/// fixpoint model, and
+///   CostTotal = sum_i U_i * 2 / E(F_i)      (U1 = m, U2 = 1-m).
+struct HotColdSplit {
+  double fill_hot;   // F1
+  double fill_cold;  // F2
+  double emptiness_hot;
+  double emptiness_cold;
+  double cost;  // CostTotal = weighted 2/E
+  double wamp;  // weighted (1-E)/E
+};
+
+/// Evaluates the model for overall fill factor `f`, skew `m`, giving the
+/// hot set a fraction `g_hot` of the slack space.
+HotColdSplit EvaluateHotColdSplit(double f, double m, double g_hot);
+
+/// CostTotal when slack is split equally (g = 0.5), which the paper's §3.2
+/// derivation shows is (approximately) the minimiser for m:1-m
+/// distributions — the Table 2 "MinCost" column.
+double MinCostEqualSplit(double f, double m);
+
+/// Numerically optimal slack share for the hot set (golden-section search
+/// over g in (0,1)); validates the paper's g1 ~= g2 claim.
+double OptimalHotSlackShare(double f, double m);
+
+/// The optimal (analytic) write amplification for the distribution — the
+/// "opt" line of Figure 3: MinCost/2 - 1 evaluated at the optimal split.
+double OptimalWamp(double f, double m);
+
+}  // namespace lss
+
+#endif  // LSS_ANALYSIS_HOTCOLD_MODEL_H_

@@ -1,0 +1,68 @@
+#include "analysis/uniform_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lss {
+
+double CostPerSegment(double emptiness) {
+  assert(emptiness > 0.0);
+  return 2.0 / emptiness;
+}
+
+double WampFromEmptiness(double emptiness) {
+  assert(emptiness > 0.0);
+  return (1.0 - emptiness) / emptiness;
+}
+
+double EmptinessFromWamp(double wamp) {
+  assert(wamp >= 0.0);
+  return 1.0 / (1.0 + wamp);
+}
+
+namespace {
+
+// Bisection for the positive root of g(E) = E - (1 - base^(E/F)) on
+// (0, 1], where base = 1/e in the limit model or ((P-1)/P)^P in the
+// finite model. g(0+) < 0 for F < 1 and g(1) > 0, and g has a single
+// positive root there.
+double SolveFixpoint(double fill_factor, double log_base) {
+  if (fill_factor >= 1.0) return 0.0;
+  assert(fill_factor > 0.0);
+  auto g = [&](double e) {
+    return e - (1.0 - std::exp(log_base * e / fill_factor));
+  };
+  double lo = 1e-12;
+  double hi = 1.0;
+  // g(lo) ~ lo * (1 - 1/F) < 0 for F < 1.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double SolveSteadyStateEmptiness(double fill_factor) {
+  return SolveFixpoint(fill_factor, -1.0);  // ln(1/e) = -1
+}
+
+double SolveSteadyStateEmptinessFinite(double fill_factor, uint64_t pages) {
+  assert(pages >= 2);
+  const double p = static_cast<double>(pages);
+  // base = ((P-1)/P)^P  =>  log_base = P * ln(1 - 1/P).
+  const double log_base = p * std::log1p(-1.0 / p);
+  return SolveFixpoint(fill_factor, log_base);
+}
+
+double SlackEfficiency(double fill_factor) {
+  assert(fill_factor < 1.0);
+  return SolveSteadyStateEmptiness(fill_factor) / (1.0 - fill_factor);
+}
+
+}  // namespace lss

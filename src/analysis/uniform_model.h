@@ -1,0 +1,38 @@
+#ifndef LSS_ANALYSIS_UNIFORM_MODEL_H_
+#define LSS_ANALYSIS_UNIFORM_MODEL_H_
+
+#include <cstdint>
+
+namespace lss {
+
+/// Closed-form cleaning-cost algebra (paper §2.1).
+///
+/// Writing a segment of new data requires reading 1/E segments, rewriting
+/// their live fraction, and writing the new segment:
+///   Cost_seg = 2 / E            (Equation 1)
+///   Wamp     = (1 - E) / E      (Equation 2)
+double CostPerSegment(double emptiness);
+double WampFromEmptiness(double emptiness);
+
+/// Inverse of WampFromEmptiness.
+double EmptinessFromWamp(double wamp);
+
+/// Steady-state segment emptiness at clean time for age-based cleaning of
+/// a uniformly-updated store with fill factor F (paper §2.2): the positive
+/// fixpoint of
+///   E = 1 - (1/e)^(E/F)         (Equation 4, the P -> infinity limit).
+/// Returns 0 if F >= 1 (no slack, no positive fixpoint).
+double SolveSteadyStateEmptiness(double fill_factor);
+
+/// Finite-population variant (Equation 3 with N = P*E/F):
+///   E = 1 - ((P-1)/P)^(P*E/F)
+/// Converges to SolveSteadyStateEmptiness as P grows (the paper notes P >
+/// 30 is already close). Used by tests to validate the limit.
+double SolveSteadyStateEmptinessFinite(double fill_factor, uint64_t pages);
+
+/// R = E / (1 - F), the ratio column of Table 1.
+double SlackEfficiency(double fill_factor);
+
+}  // namespace lss
+
+#endif  // LSS_ANALYSIS_UNIFORM_MODEL_H_

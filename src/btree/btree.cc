@@ -1,0 +1,318 @@
+#include "btree/btree.h"
+
+#include <cassert>
+
+namespace lss {
+
+BTree::BTree(BufferPool* pool) : pool_(pool) {
+  uint8_t* data = nullptr;
+  root_ = pool_->AllocatePinned(&data);
+  NodeView::Init(data, NodeView::kLeaf);
+  pool_->Unpin(root_, /*dirty=*/true);
+}
+
+PageNo BTree::RouteChild(const NodeView& node, std::string_view key) {
+  const uint16_t n = node.count();
+  assert(n > 0);
+  const uint16_t lb = node.LowerBound(key);
+  if (lb < n && node.Key(lb) == key) return node.Child(lb);
+  if (lb == 0) return node.leftmost_child();
+  return node.Child(lb - 1);
+}
+
+PageNo BTree::DescendToLeaf(std::string_view key,
+                            std::vector<PageNo>* path) const {
+  PageNo cur = root_;
+  for (;;) {
+    PageRef ref(pool_, cur);
+    NodeView node(ref.data());
+    if (node.IsLeaf()) return cur;
+    if (path != nullptr) path->push_back(cur);
+    cur = RouteChild(node, key);
+    assert(cur != kInvalidPageNo);
+  }
+}
+
+Status BTree::Insert(std::string_view key, std::string_view value) {
+  if (key.size() + value.size() > NodeView::kMaxPayload || key.empty()) {
+    return Status::InvalidArgument("key/value payload out of bounds");
+  }
+  std::vector<PageNo> path;
+  const PageNo leaf_no = DescendToLeaf(key, &path);
+  {
+    PageRef ref(pool_, leaf_no);
+    NodeView leaf(ref.data());
+    uint16_t slot;
+    if (leaf.Find(key, &slot)) {
+      return Status::InvalidArgument("key already exists");
+    }
+    const uint32_t cell = NodeView::LeafCellSize(key, value);
+    if (leaf.HasRoomFor(cell)) {
+      leaf.InsertLeaf(leaf.LowerBound(key), key, value);
+      ref.MarkDirty();
+      ++size_;
+      return Status::OK();
+    }
+  }
+  Status s = InsertWithSplit(leaf_no, key, value, &path);
+  if (s.ok()) ++size_;
+  return s;
+}
+
+Status BTree::Put(std::string_view key, std::string_view value) {
+  if (key.size() + value.size() > NodeView::kMaxPayload || key.empty()) {
+    return Status::InvalidArgument("key/value payload out of bounds");
+  }
+  std::vector<PageNo> path;
+  const PageNo leaf_no = DescendToLeaf(key, &path);
+  {
+    PageRef ref(pool_, leaf_no);
+    NodeView leaf(ref.data());
+    uint16_t slot;
+    if (leaf.Find(key, &slot)) {
+      const size_t old_size = leaf.Value(slot).size();
+      if (value.size() <= old_size ||
+          leaf.HasRoomFor(static_cast<uint32_t>(value.size() - old_size))) {
+        leaf.UpdateLeafValue(slot, value);
+        ref.MarkDirty();
+        return Status::OK();
+      }
+      // Grown beyond this node's free space: remove, then insert (which
+      // will split).
+      leaf.Remove(slot);
+      ref.MarkDirty();
+      --size_;
+    } else {
+      const uint32_t cell = NodeView::LeafCellSize(key, value);
+      if (leaf.HasRoomFor(cell)) {
+        leaf.InsertLeaf(leaf.LowerBound(key), key, value);
+        ref.MarkDirty();
+        ++size_;
+        return Status::OK();
+      }
+    }
+  }
+  Status s = InsertWithSplit(leaf_no, key, value, &path);
+  if (s.ok()) ++size_;
+  return s;
+}
+
+Status BTree::InsertWithSplit(PageNo leaf_no, std::string_view key,
+                              std::string_view value,
+                              std::vector<PageNo>* path) {
+  // Split the leaf.
+  uint8_t* right_data = nullptr;
+  const PageNo right_no = pool_->AllocatePinned(&right_data);
+  NodeView::Init(right_data, NodeView::kLeaf);
+  NodeView right(right_data);
+
+  std::string separator;
+  {
+    PageRef left_ref(pool_, leaf_no);
+    NodeView left(left_ref.data());
+    separator = left.SplitInto(right);
+    right.set_right_sibling(left.right_sibling());
+    left.set_right_sibling(right_no);
+    // Insert the record into the proper half (routing sends
+    // key >= separator right).
+    NodeView& target = (key < separator) ? left : right;
+    assert(target.HasRoomFor(NodeView::LeafCellSize(key, value)));
+    target.InsertLeaf(target.LowerBound(key), key, value);
+    left_ref.MarkDirty();
+  }
+  pool_->Unpin(right_no, /*dirty=*/true);
+
+  // Propagate the separator up the path.
+  std::string sep = std::move(separator);
+  PageNo new_child = right_no;
+  while (!path->empty()) {
+    const PageNo parent_no = path->back();
+    path->pop_back();
+    PageRef ref(pool_, parent_no);
+    NodeView parent(ref.data());
+    assert(!parent.IsLeaf());
+    const uint32_t cell = NodeView::InternalCellSize(sep);
+    if (parent.HasRoomFor(cell)) {
+      parent.InsertInternal(parent.LowerBound(sep), sep, new_child);
+      ref.MarkDirty();
+      return Status::OK();
+    }
+    // Split the internal node; its middle key moves up.
+    uint8_t* pr_data = nullptr;
+    const PageNo pr_no = pool_->AllocatePinned(&pr_data);
+    NodeView::Init(pr_data, NodeView::kInternal);
+    NodeView pright(pr_data);
+    std::string up = parent.SplitInto(pright);
+    NodeView& target = (sep < up) ? parent : pright;
+    target.InsertInternal(target.LowerBound(sep), sep, new_child);
+    ref.MarkDirty();
+    pool_->Unpin(pr_no, /*dirty=*/true);
+    sep = std::move(up);
+    new_child = pr_no;
+  }
+
+  // The root itself split: grow the tree by one level.
+  uint8_t* nr_data = nullptr;
+  const PageNo new_root = pool_->AllocatePinned(&nr_data);
+  NodeView::Init(nr_data, NodeView::kInternal);
+  NodeView root(nr_data);
+  root.set_leftmost_child(root_);
+  root.InsertInternal(0, sep, new_child);
+  pool_->Unpin(new_root, /*dirty=*/true);
+  root_ = new_root;
+  return Status::OK();
+}
+
+bool BTree::Get(std::string_view key, std::string* value) const {
+  const PageNo leaf_no = DescendToLeaf(key, nullptr);
+  PageRef ref(pool_, leaf_no);
+  NodeView leaf(ref.data());
+  uint16_t slot;
+  if (!leaf.Find(key, &slot)) return false;
+  if (value != nullptr) value->assign(leaf.Value(slot));
+  return true;
+}
+
+bool BTree::Delete(std::string_view key) {
+  const PageNo leaf_no = DescendToLeaf(key, nullptr);
+  PageRef ref(pool_, leaf_no);
+  NodeView leaf(ref.data());
+  uint16_t slot;
+  if (!leaf.Find(key, &slot)) return false;
+  leaf.Remove(slot);
+  ref.MarkDirty();
+  --size_;
+  return true;
+}
+
+// --- Iterator -----------------------------------------------------------
+
+BTree::Iterator::Iterator(const BTree* tree, PageNo leaf, uint16_t slot)
+    : tree_(tree), leaf_(leaf), slot_(slot) {
+  Load();
+}
+
+void BTree::Iterator::Load() {
+  valid_ = false;
+  while (leaf_ != kInvalidPageNo) {
+    PageRef ref(tree_->pool_, leaf_);
+    NodeView node(ref.data());
+    assert(node.IsLeaf());
+    if (slot_ < node.count()) {
+      key_.assign(node.Key(slot_));
+      value_.assign(node.Value(slot_));
+      valid_ = true;
+      return;
+    }
+    leaf_ = node.right_sibling();
+    slot_ = 0;
+  }
+}
+
+void BTree::Iterator::Next() {
+  assert(valid_);
+  ++slot_;
+  Load();
+}
+
+BTree::Iterator BTree::Seek(std::string_view key) const {
+  const PageNo leaf_no = DescendToLeaf(key, nullptr);
+  uint16_t slot;
+  {
+    PageRef ref(pool_, leaf_no);
+    NodeView leaf(ref.data());
+    slot = leaf.LowerBound(key);
+  }
+  return Iterator(this, leaf_no, slot);
+}
+
+BTree::Iterator BTree::Begin() const {
+  PageNo cur = root_;
+  for (;;) {
+    PageRef ref(pool_, cur);
+    NodeView node(ref.data());
+    if (node.IsLeaf()) break;
+    cur = node.leftmost_child();
+  }
+  return Iterator(this, cur, 0);
+}
+
+// --- Validation -----------------------------------------------------------
+
+uint32_t BTree::Height() const {
+  uint32_t h = 1;
+  PageNo cur = root_;
+  for (;;) {
+    PageRef ref(pool_, cur);
+    NodeView node(ref.data());
+    if (node.IsLeaf()) return h;
+    cur = node.leftmost_child();
+    ++h;
+  }
+}
+
+Status BTree::CheckSubtree(PageNo page, std::string_view lo,
+                           std::string_view hi, uint32_t depth,
+                           uint32_t* leaf_depth, uint64_t* records) const {
+  PageRef ref(pool_, page);
+  NodeView node(ref.data());
+  if (!node.CheckConsistent()) {
+    return Status::Corruption("node failed self-check");
+  }
+  // Keys must lie within (lo, hi]. Empty bounds mean unbounded.
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    const std::string_view k = node.Key(i);
+    if (!lo.empty() && k < lo) return Status::Corruption("key below bound");
+    if (!hi.empty() && k >= hi) return Status::Corruption("key above bound");
+  }
+  if (node.IsLeaf()) {
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at differing depths");
+    }
+    *records += node.count();
+    return Status::OK();
+  }
+  if (node.count() == 0) return Status::Corruption("empty internal node");
+  // leftmost child: keys < key[0].
+  Status s = CheckSubtree(node.leftmost_child(), lo, node.Key(0), depth + 1,
+                          leaf_depth, records);
+  if (!s.ok()) return s;
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    const std::string_view child_lo = node.Key(i);
+    const std::string_view child_hi =
+        (i + 1 < node.count()) ? node.Key(i + 1) : hi;
+    s = CheckSubtree(node.Child(i), child_lo, child_hi, depth + 1, leaf_depth,
+                     records);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckIntegrity() const {
+  uint32_t leaf_depth = 0;
+  uint64_t records = 0;
+  Status s = CheckSubtree(root_, {}, {}, 1, &leaf_depth, &records);
+  if (!s.ok()) return s;
+  if (records != size_) {
+    return Status::Corruption("record count mismatch");
+  }
+  // Leaf chain must visit exactly `records` keys in strictly increasing
+  // order.
+  uint64_t seen = 0;
+  std::string prev;
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    if (seen > 0 && !(prev < it.key())) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    prev = it.key();
+    ++seen;
+  }
+  if (seen != records) {
+    return Status::Corruption("leaf chain missed records");
+  }
+  return Status::OK();
+}
+
+}  // namespace lss

@@ -1,0 +1,114 @@
+#ifndef LSS_BTREE_BTREE_H_
+#define LSS_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btree/buffer_pool.h"
+#include "btree/node.h"
+#include "btree/page.h"
+#include "core/types.h"
+
+namespace lss {
+
+/// A disk-format B+-tree over a buffer pool: 4 KB slotted pages,
+/// arbitrary byte-string keys (memcmp order) and values, leaf-chained
+/// range scans. This is the storage engine under the TPC-C workload whose
+/// page-write trace drives the paper's §6.3 experiment.
+///
+/// Scope notes (documented simplifications, see DESIGN.md): single
+/// threaded; deletes do not rebalance (underfull leaves persist, as in
+/// lazy-deletion engines); the record count is maintained in memory, not
+/// persisted. Key+value payload is limited to NodeView::kMaxPayload bytes
+/// so splits always succeed.
+class BTree {
+ public:
+  /// Creates an empty tree whose pages are allocated from `pool`.
+  explicit BTree(BufferPool* pool);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) = default;
+
+  /// Inserts a new record; kInvalidArgument if the key already exists or
+  /// the payload exceeds kMaxPayload.
+  Status Insert(std::string_view key, std::string_view value);
+
+  /// Inserts or overwrites.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Fetches a record. Returns false if absent. `value` may be null to
+  /// test existence only.
+  bool Get(std::string_view key, std::string* value) const;
+
+  /// Removes a record. Returns false if absent.
+  bool Delete(std::string_view key);
+
+  /// Records currently stored.
+  uint64_t Size() const { return size_; }
+
+  PageNo root() const { return root_; }
+
+  /// Forward iterator over records. Pins pages only while reading; the
+  /// current key/value are materialised copies, so the iterator stays
+  /// valid across unrelated tree reads (not across writes).
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return key_; }
+    const std::string& value() const { return value_; }
+    /// Advances to the next record in key order.
+    void Next();
+
+   private:
+    friend class BTree;
+    Iterator(const BTree* tree, PageNo leaf, uint16_t slot);
+    // Loads key_/value_ from (leaf_, slot_), hopping over empty leaves.
+    void Load();
+
+    const BTree* tree_ = nullptr;
+    PageNo leaf_ = kInvalidPageNo;
+    uint16_t slot_ = 0;
+    bool valid_ = false;
+    std::string key_;
+    std::string value_;
+  };
+
+  /// Iterator at the first record with key >= `key`.
+  Iterator Seek(std::string_view key) const;
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+
+  /// Full structural validation: node consistency, key ordering within
+  /// and across nodes, leaf chain coverage. O(tree).
+  Status CheckIntegrity() const;
+
+  /// Height of the tree (1 = root is a leaf). For tests/diagnostics.
+  uint32_t Height() const;
+
+ private:
+  // Descends to the leaf for `key`; fills `path` with the internal pages
+  // visited (root first) when non-null.
+  PageNo DescendToLeaf(std::string_view key,
+                       std::vector<PageNo>* path) const;
+  // Routing decision within an internal node.
+  static PageNo RouteChild(const NodeView& node, std::string_view key);
+  // Inserts `key`/`value` into `leaf` (known to need a split), then
+  // propagates separators up `path`.
+  Status InsertWithSplit(PageNo leaf_no, std::string_view key,
+                         std::string_view value, std::vector<PageNo>* path);
+
+  Status CheckSubtree(PageNo page, std::string_view lo, std::string_view hi,
+                      uint32_t depth, uint32_t* leaf_depth,
+                      uint64_t* records) const;
+
+  BufferPool* pool_;
+  PageNo root_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace lss
+
+#endif  // LSS_BTREE_BTREE_H_

@@ -1,0 +1,125 @@
+#include "btree/buffer_pool.h"
+
+#include <cassert>
+
+namespace lss {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
+                       WriteObserver observer)
+    : pager_(pager), capacity_(capacity_pages),
+      observer_(std::move(observer)) {
+  assert(pager != nullptr);
+  assert(capacity_pages >= 8);
+  frames_.resize(capacity_);
+  for (Frame& f : frames_) f.data.resize(kBtreePageSize);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  assert(PinnedFrames() == 0 && "page pins leaked");
+}
+
+size_t BufferPool::PinnedFrames() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) n += (f.pins > 0) ? 1 : 0;
+  return n;
+}
+
+void BufferPool::WriteBack(size_t idx) {
+  Frame& f = frames_[idx];
+  assert(f.dirty);
+  pager_->Write(f.page, f.data.data());
+  f.dirty = false;
+  ++write_backs_;
+  if (observer_) observer_(f.page);
+}
+
+size_t BufferPool::EvictOne() {
+  assert(!lru_.empty() && "buffer pool exhausted: all frames pinned");
+  // Back of the LRU list = least recently used unpinned frame.
+  const size_t idx = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) WriteBack(idx);
+  page_to_frame_.erase(f.page);
+  f.page = kInvalidPageNo;
+  ++evictions_;
+  return idx;
+}
+
+size_t BufferPool::FrameFor(PageNo page, bool load_from_pager) {
+  auto it = page_to_frame_.find(page);
+  if (it != page_to_frame_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  size_t idx;
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    idx = EvictOne();
+  }
+  Frame& f = frames_[idx];
+  f.page = page;
+  f.pins = 0;
+  f.dirty = false;
+  f.in_lru = false;
+  if (load_from_pager) pager_->Read(page, f.data.data());
+  page_to_frame_.emplace(page, idx);
+  return idx;
+}
+
+uint8_t* BufferPool::Pin(PageNo page) {
+  const size_t idx = FrameFor(page, /*load_from_pager=*/true);
+  Frame& f = frames_[idx];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pins;
+  return f.data.data();
+}
+
+void BufferPool::Unpin(PageNo page, bool dirty) {
+  auto it = page_to_frame_.find(page);
+  assert(it != page_to_frame_.end() && "unpin of uncached page");
+  Frame& f = frames_[it->second];
+  assert(f.pins > 0);
+  f.dirty |= dirty;
+  if (--f.pins == 0) {
+    lru_.push_front(it->second);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+PageNo BufferPool::AllocatePinned(uint8_t** data_out) {
+  const PageNo page = pager_->Allocate();
+  const size_t idx = FrameFor(page, /*load_from_pager=*/false);
+  Frame& f = frames_[idx];
+  std::fill(f.data.begin(), f.data.end(), 0);
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pins;
+  // A freshly allocated page must reach the pager eventually even if it
+  // is never modified again.
+  f.dirty = true;
+  *data_out = f.data.data();
+  return page;
+}
+
+void BufferPool::FlushAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page != kInvalidPageNo && frames_[i].dirty) {
+      WriteBack(i);
+    }
+  }
+}
+
+}  // namespace lss

@@ -1,0 +1,137 @@
+#ifndef LSS_BTREE_BUFFER_POOL_H_
+#define LSS_BTREE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/page.h"
+#include "btree/pager.h"
+#include "core/types.h"
+
+namespace lss {
+
+/// LRU buffer cache over a Pager, the component that shapes the page
+/// write I/O stream the paper's TPC-C experiment consumes ("The buffer
+/// cache size was set at 4GB", §6.3). Dirty pages are written back on
+/// eviction (and on checkpoints/flushes); each write-back is reported to
+/// the observer, which is how the cleaning-simulator trace is collected.
+class BufferPool {
+ public:
+  /// Called with the page number of every write-back to the pager.
+  using WriteObserver = std::function<void(PageNo)>;
+
+  /// `capacity_pages` must be >= 8 (the B+-tree pins a few pages at once).
+  BufferPool(Pager* pager, size_t capacity_pages,
+             WriteObserver observer = nullptr);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  /// Pins `page` in the cache and returns its frame bytes. The caller
+  /// must Unpin exactly once (prefer PageRef). Never returns null.
+  uint8_t* Pin(PageNo page);
+
+  /// Releases one pin; `dirty` marks the frame as modified.
+  void Unpin(PageNo page, bool dirty);
+
+  /// Allocates a fresh page (through the pager) and pins it dirty-able.
+  PageNo AllocatePinned(uint8_t** data_out);
+
+  /// Writes back every dirty frame (a checkpoint). Frames stay cached.
+  void FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t write_backs() const { return write_backs_; }
+  size_t PinnedFrames() const;
+
+ private:
+  struct Frame {
+    PageNo page = kInvalidPageNo;
+    std::vector<uint8_t> data;
+    uint32_t pins = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pins == 0
+    bool in_lru = false;
+  };
+
+  // Frame index for `page`, loading (and possibly evicting) as needed.
+  size_t FrameFor(PageNo page, bool load_from_pager);
+  void WriteBack(size_t frame_idx);
+  size_t EvictOne();  // returns the freed frame index
+
+  Pager* pager_;
+  size_t capacity_;
+  WriteObserver observer_;
+
+  std::vector<Frame> frames_;
+  std::unordered_map<PageNo, size_t> page_to_frame_;
+  std::list<size_t> lru_;  // front = most recent; only unpinned frames
+  std::vector<size_t> free_frames_;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t write_backs_ = 0;
+};
+
+/// RAII pin on a buffer-pool page. Move-only.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, PageNo page)
+      : pool_(pool), page_(page), data_(pool->Pin(page)) {}
+
+  PageRef(PageRef&& o) noexcept { *this = std::move(o); }
+  PageRef& operator=(PageRef&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    page_ = o.page_;
+    data_ = o.data_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  ~PageRef() { Release(); }
+
+  /// Frame bytes (kBtreePageSize of them).
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  PageNo page() const { return page_; }
+  bool Valid() const { return data_ != nullptr; }
+
+  /// Marks the page dirty; it will be written back on eviction/flush.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicit early release (also done by the destructor).
+  void Release() {
+    if (pool_ != nullptr && data_ != nullptr) {
+      pool_->Unpin(page_, dirty_);
+    }
+    pool_ = nullptr;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  friend class BufferPool;
+  BufferPool* pool_ = nullptr;
+  PageNo page_ = kInvalidPageNo;
+  uint8_t* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace lss
+
+#endif  // LSS_BTREE_BUFFER_POOL_H_

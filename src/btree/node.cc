@@ -1,0 +1,197 @@
+#include "btree/node.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lss {
+
+void NodeView::Init(uint8_t* data, uint8_t type) {
+  std::memset(data, 0, kHeaderSize);
+  NodeView n(data);
+  n.d_[0] = type;
+  n.set_count(0);
+  n.set_cell_start(kBtreePageSize);
+  n.set_right_sibling(kInvalidPageNo);
+  n.set_leftmost_child(kInvalidPageNo);
+}
+
+uint16_t NodeView::CellSizeAt(uint16_t off) const {
+  const uint16_t klen = Load16(off);
+  if (IsLeaf()) {
+    const uint16_t vlen = Load16(off + 2);
+    return static_cast<uint16_t>(4 + klen + vlen);
+  }
+  return static_cast<uint16_t>(6 + klen);
+}
+
+std::string_view NodeView::Key(uint16_t slot) const {
+  assert(slot < count());
+  const uint16_t off = SlotOffset(slot);
+  const uint16_t klen = Load16(off);
+  const uint32_t key_off = IsLeaf() ? off + 4 : off + 6;
+  return std::string_view(reinterpret_cast<const char*>(d_ + key_off), klen);
+}
+
+std::string_view NodeView::Value(uint16_t slot) const {
+  assert(IsLeaf());
+  assert(slot < count());
+  const uint16_t off = SlotOffset(slot);
+  const uint16_t klen = Load16(off);
+  const uint16_t vlen = Load16(off + 2);
+  return std::string_view(reinterpret_cast<const char*>(d_ + off + 4 + klen),
+                          vlen);
+}
+
+PageNo NodeView::Child(uint16_t slot) const {
+  assert(!IsLeaf());
+  assert(slot < count());
+  return Load32(SlotOffset(slot) + 2);
+}
+
+void NodeView::SetChild(uint16_t slot, PageNo child) {
+  assert(!IsLeaf());
+  assert(slot < count());
+  Store32(SlotOffset(slot) + 2, child);
+}
+
+uint16_t NodeView::LowerBound(std::string_view key) const {
+  uint16_t lo = 0;
+  uint16_t hi = count();
+  while (lo < hi) {
+    const uint16_t mid = (lo + hi) / 2;
+    if (Key(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool NodeView::Find(std::string_view key, uint16_t* slot) const {
+  const uint16_t s = LowerBound(key);
+  if (s < count() && Key(s) == key) {
+    *slot = s;
+    return true;
+  }
+  return false;
+}
+
+uint16_t NodeView::AllocCell(uint16_t slot, uint16_t cell_bytes) {
+  assert(HasRoomFor(cell_bytes));
+  assert(slot <= count());
+  const uint16_t off = static_cast<uint16_t>(cell_start() - cell_bytes);
+  // Shift slots [slot, count) up by one.
+  for (uint16_t i = count(); i > slot; --i) {
+    SetSlotOffset(i, SlotOffset(i - 1));
+  }
+  SetSlotOffset(slot, off);
+  set_count(count() + 1);
+  set_cell_start(off);
+  return off;
+}
+
+void NodeView::InsertLeaf(uint16_t slot, std::string_view key,
+                          std::string_view value) {
+  assert(IsLeaf());
+  const uint32_t bytes = LeafCellSize(key, value);
+  const uint16_t off = AllocCell(slot, static_cast<uint16_t>(bytes));
+  Store16(off, static_cast<uint16_t>(key.size()));
+  Store16(off + 2, static_cast<uint16_t>(value.size()));
+  std::memcpy(d_ + off + 4, key.data(), key.size());
+  std::memcpy(d_ + off + 4 + key.size(), value.data(), value.size());
+}
+
+void NodeView::InsertInternal(uint16_t slot, std::string_view key,
+                              PageNo child) {
+  assert(!IsLeaf());
+  const uint32_t bytes = InternalCellSize(key);
+  const uint16_t off = AllocCell(slot, static_cast<uint16_t>(bytes));
+  Store16(off, static_cast<uint16_t>(key.size()));
+  Store32(off + 2, child);
+  std::memcpy(d_ + off + 6, key.data(), key.size());
+}
+
+void NodeView::UpdateLeafValue(uint16_t slot, std::string_view value) {
+  assert(IsLeaf());
+  const std::string_view old = Value(slot);
+  if (old.size() == value.size()) {
+    std::memcpy(d_ + SlotOffset(slot) + 4 + Key(slot).size(), value.data(),
+                value.size());
+    return;
+  }
+  // Size change: remove and re-insert (key copied out first).
+  const std::string key(Key(slot));
+  Remove(slot);
+  assert(HasRoomFor(LeafCellSize(key, value)));
+  InsertLeaf(slot, key, value);
+}
+
+void NodeView::Remove(uint16_t slot) {
+  assert(slot < count());
+  const uint16_t off = SlotOffset(slot);
+  const uint16_t size = CellSizeAt(off);
+  const uint16_t start = cell_start();
+  // Compact: slide cell bytes in [start, off) up by `size`.
+  std::memmove(d_ + start + size, d_ + start, off - start);
+  // Drop the slot and fix offsets of cells that moved.
+  for (uint16_t i = slot; i + 1 < count(); ++i) {
+    SetSlotOffset(i, SlotOffset(i + 1));
+  }
+  set_count(count() - 1);
+  for (uint16_t i = 0; i < count(); ++i) {
+    if (SlotOffset(i) < off) SetSlotOffset(i, SlotOffset(i) + size);
+  }
+  set_cell_start(start + size);
+}
+
+std::string NodeView::SplitInto(NodeView& right) {
+  assert(right.count() == 0);
+  assert(count() >= 2);
+  const uint16_t n = count();
+  const uint16_t mid = n / 2;
+
+  std::string separator;
+  if (IsLeaf()) {
+    separator.assign(Key(mid));
+    // Copy cells [mid, n) to the right node.
+    for (uint16_t i = mid; i < n; ++i) {
+      right.InsertLeaf(right.count(), Key(i), Value(i));
+    }
+    // Trim this node down to [0, mid), highest slot first so no shifting
+    // of cell bytes below is wasted... Remove already compacts; iterate
+    // from the end.
+    for (uint16_t i = n; i > mid; --i) {
+      Remove(i - 1);
+    }
+  } else {
+    separator.assign(Key(mid));
+    right.set_leftmost_child(Child(mid));
+    for (uint16_t i = mid + 1; i < n; ++i) {
+      right.InsertInternal(right.count(), Key(i), Child(i));
+    }
+    for (uint16_t i = n; i > mid; --i) {
+      Remove(i - 1);
+    }
+  }
+  return separator;
+}
+
+bool NodeView::CheckConsistent() const {
+  if (type() != kLeaf && type() != kInternal) return false;
+  const uint16_t n = count();
+  if (kHeaderSize + n * 2 > cell_start()) return false;
+  if (cell_start() > kBtreePageSize) return false;
+  uint32_t cell_bytes = 0;
+  for (uint16_t i = 0; i < n; ++i) {
+    const uint16_t off = SlotOffset(i);
+    if (off < cell_start() || off >= kBtreePageSize) return false;
+    if (off + CellSizeAt(off) > kBtreePageSize) return false;
+    cell_bytes += CellSizeAt(off);
+    if (i > 0 && !(Key(i - 1) < Key(i))) return false;
+  }
+  if (cell_bytes != kBtreePageSize - cell_start()) return false;
+  return true;
+}
+
+}  // namespace lss

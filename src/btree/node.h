@@ -1,0 +1,146 @@
+#ifndef LSS_BTREE_NODE_H_
+#define LSS_BTREE_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "btree/page.h"
+
+namespace lss {
+
+/// Slotted-page view over one 4 KB B+-tree node. The view does not own
+/// the bytes; it wraps a buffer-pool frame.
+///
+/// Layout (little-endian):
+///   0   u8   type (1 = leaf, 2 = internal)
+///   1   u8   unused
+///   2   u16  count            number of cells
+///   4   u16  cell_start       lowest byte offset used by cell data
+///   8   u32  right_sibling    (leaf) next leaf page, else kInvalidPageNo
+///   12  u32  leftmost_child   (internal) child for keys < key[0]
+///   16  u16  slot[count]      cell offsets, sorted by key
+///   ... free space ...
+///   cells grow downward from the page end:
+///     leaf cell:     u16 klen, u16 vlen, key bytes, value bytes
+///     internal cell: u16 klen, u32 child, key bytes
+///
+/// Keys are arbitrary byte strings compared with memcmp order. An
+/// internal node routes key k to child[i] for the largest i with
+/// key[i] <= k, or to leftmost_child when k < key[0].
+class NodeView {
+ public:
+  static constexpr uint8_t kLeaf = 1;
+  static constexpr uint8_t kInternal = 2;
+  static constexpr uint16_t kHeaderSize = 16;
+
+  /// Largest key+value accepted by the tree; chosen so a leaf always
+  /// holds at least 4 records and splits cannot fail.
+  static constexpr uint32_t kMaxPayload = (kBtreePageSize - kHeaderSize) / 4 - 8;
+
+  explicit NodeView(uint8_t* data) : d_(data) {}
+
+  /// Formats `data` as an empty node of the given type.
+  static void Init(uint8_t* data, uint8_t type);
+
+  // --- Header ---------------------------------------------------------
+  uint8_t type() const { return d_[0]; }
+  bool IsLeaf() const { return type() == kLeaf; }
+  uint16_t count() const { return Load16(2); }
+  uint16_t cell_start() const { return Load16(4); }
+  PageNo right_sibling() const { return Load32(8); }
+  void set_right_sibling(PageNo p) { Store32(8, p); }
+  PageNo leftmost_child() const { return Load32(12); }
+  void set_leftmost_child(PageNo p) { Store32(12, p); }
+
+  /// Contiguous free bytes between the slot array and the cell area.
+  uint16_t FreeBytes() const {
+    return cell_start() - (kHeaderSize + count() * 2);
+  }
+
+  // --- Cell access ------------------------------------------------------
+  std::string_view Key(uint16_t slot) const;
+  std::string_view Value(uint16_t slot) const;           // leaf only
+  PageNo Child(uint16_t slot) const;                     // internal only
+  void SetChild(uint16_t slot, PageNo child);            // internal only
+
+  /// Index of the first slot whose key is >= `key` (== count() if none).
+  uint16_t LowerBound(std::string_view key) const;
+  /// True plus slot index if `key` is present.
+  bool Find(std::string_view key, uint16_t* slot) const;
+
+  // --- Mutation ---------------------------------------------------------
+  /// Bytes needed to store a cell for this key/value (or key/child).
+  static uint32_t LeafCellSize(std::string_view key, std::string_view value) {
+    return 4 + static_cast<uint32_t>(key.size() + value.size());
+  }
+  static uint32_t InternalCellSize(std::string_view key) {
+    return 6 + static_cast<uint32_t>(key.size());
+  }
+
+  /// True if a cell of `cell_bytes` plus one slot fits.
+  bool HasRoomFor(uint32_t cell_bytes) const {
+    return FreeBytes() >= cell_bytes + 2;
+  }
+
+  /// Inserts a leaf record at `slot` (from LowerBound). Caller checks
+  /// room and uniqueness.
+  void InsertLeaf(uint16_t slot, std::string_view key, std::string_view value);
+  /// Inserts an internal separator cell at `slot`.
+  void InsertInternal(uint16_t slot, std::string_view key, PageNo child);
+
+  /// Replaces the value at `slot` (leaf). Caller ensures room when the
+  /// value grows (HasRoomFor(growth)).
+  void UpdateLeafValue(uint16_t slot, std::string_view value);
+
+  /// Removes the cell at `slot`, compacting the cell area.
+  void Remove(uint16_t slot);
+
+  /// Moves the upper half of this node's cells into `right` (an empty
+  /// node of the same type) for a split. For leaves the returned string
+  /// is a copy of the right node's first key (to copy up); for internal
+  /// nodes the middle key is *moved* up: it is returned and its child
+  /// becomes right.leftmost_child. Siblings are not linked here.
+  std::string SplitInto(NodeView& right);
+
+  /// Structural self-check: slots sorted, offsets within bounds, free
+  /// space accounting consistent.
+  bool CheckConsistent() const;
+
+ private:
+  uint16_t Load16(uint32_t off) const {
+    return static_cast<uint16_t>(d_[off]) |
+           (static_cast<uint16_t>(d_[off + 1]) << 8);
+  }
+  void Store16(uint32_t off, uint16_t v) {
+    d_[off] = static_cast<uint8_t>(v);
+    d_[off + 1] = static_cast<uint8_t>(v >> 8);
+  }
+  uint32_t Load32(uint32_t off) const {
+    return static_cast<uint32_t>(Load16(off)) |
+           (static_cast<uint32_t>(Load16(off + 2)) << 16);
+  }
+  void Store32(uint32_t off, uint32_t v) {
+    Store16(off, static_cast<uint16_t>(v));
+    Store16(off + 2, static_cast<uint16_t>(v >> 16));
+  }
+  void set_count(uint16_t c) { Store16(2, c); }
+  void set_cell_start(uint16_t c) { Store16(4, c); }
+
+  uint16_t SlotOffset(uint16_t slot) const {
+    return Load16(kHeaderSize + slot * 2);
+  }
+  void SetSlotOffset(uint16_t slot, uint16_t off) {
+    Store16(kHeaderSize + slot * 2, off);
+  }
+  // Total bytes of the cell stored at `off`.
+  uint16_t CellSizeAt(uint16_t off) const;
+  // Allocates cell space and a slot at `slot`; returns the cell offset.
+  uint16_t AllocCell(uint16_t slot, uint16_t cell_bytes);
+
+  uint8_t* d_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_BTREE_NODE_H_

@@ -1,0 +1,21 @@
+#ifndef LSS_BTREE_PAGE_H_
+#define LSS_BTREE_PAGE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace lss {
+
+/// Page geometry of the B+-tree storage engine. The paper's TPC-C traces
+/// come from "a B+-tree-based storage engine" with 4 KB pages (§6.1.1,
+/// §6.3); this engine regenerates equivalent traces.
+inline constexpr uint32_t kBtreePageSize = 4096;
+
+/// Physical page number within the engine's backing store. Doubles as the
+/// simulator PageId when traces are replayed.
+using PageNo = uint32_t;
+inline constexpr PageNo kInvalidPageNo = std::numeric_limits<PageNo>::max();
+
+}  // namespace lss
+
+#endif  // LSS_BTREE_PAGE_H_

@@ -1,0 +1,56 @@
+#ifndef LSS_BTREE_PAGER_H_
+#define LSS_BTREE_PAGER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "btree/page.h"
+
+namespace lss {
+
+/// The engine's backing store — an in-memory stand-in for the disk under
+/// the buffer pool. Every write-back lands here; the page-write I/O trace
+/// is collected one level up (BufferPool) where eviction and checkpoint
+/// decisions are made.
+class Pager {
+ public:
+  Pager() = default;
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Allocates a zeroed page and returns its number.
+  PageNo Allocate() {
+    pages_.push_back(std::make_unique<PageBuf>());
+    std::memset(pages_.back()->data, 0, kBtreePageSize);
+    return static_cast<PageNo>(pages_.size() - 1);
+  }
+
+  /// Number of pages ever allocated (the database footprint).
+  PageNo PageCount() const { return static_cast<PageNo>(pages_.size()); }
+
+  /// Copies a page's bytes out of the backing store.
+  void Read(PageNo page, uint8_t* out) const {
+    std::memcpy(out, pages_[page]->data, kBtreePageSize);
+  }
+
+  /// Copies bytes into the backing store.
+  void Write(PageNo page, const uint8_t* in) {
+    std::memcpy(pages_[page]->data, in, kBtreePageSize);
+  }
+
+  /// Direct read-only view (tests and integrity checks).
+  const uint8_t* Raw(PageNo page) const { return pages_[page]->data; }
+
+ private:
+  struct PageBuf {
+    uint8_t data[kBtreePageSize];
+  };
+  std::vector<std::unique_ptr<PageBuf>> pages_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_BTREE_PAGER_H_

@@ -1,0 +1,67 @@
+#ifndef LSS_CORE_CLEANING_POLICY_H_
+#define LSS_CORE_CLEANING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lss {
+
+class LogStructuredStore;
+
+/// Strategy interface for segment cleaning (paper §4, §6.1.3).
+///
+/// A policy makes two decisions:
+///  1. *Victim selection* — which sealed segments to clean next, and how
+///     many (SelectVictims). This is where age / greedy / cost-benefit /
+///     multi-log / MDC differ most.
+///  2. *Placement* — which "log" (open-segment stream) a page is appended
+///     to (PlacementLog). Single-log policies always return 0; multi-log
+///     partitions pages into logs by estimated update frequency.
+///
+/// Policies are stateless with respect to store content except where the
+/// algorithm requires it (multi-log's band->log map); all bookkeeping data
+/// (A, C, up2, seal time, exact-frequency sums) lives on the segments.
+class CleaningPolicy {
+ public:
+  virtual ~CleaningPolicy() = default;
+
+  /// Human-readable policy name as used in the paper's figures.
+  virtual std::string name() const = 0;
+
+  /// Appends up to `max_victims` sealed segment ids to `out`, best victim
+  /// first. `triggering_log` is the log whose allocation ran the free pool
+  /// low (multi-log cleans locally around it; others ignore it). Must not
+  /// return open or free segments. Returning fewer than `max_victims`
+  /// (even one) is fine; returning none means nothing is cleanable.
+  virtual void SelectVictims(const LogStructuredStore& store,
+                             uint32_t triggering_log, size_t max_victims,
+                             std::vector<SegmentId>* out) const = 0;
+
+  /// Placement log for a page write. `upf_estimate` is the store's current
+  /// update-frequency estimate for the page (exact when an oracle is
+  /// installed), or <= 0 when unknown (first write). `is_gc` distinguishes
+  /// cleaner re-writes from user writes.
+  virtual uint32_t PlacementLog(const LogStructuredStore& store, PageId page,
+                                bool is_gc, double upf_estimate) const {
+    (void)store;
+    (void)page;
+    (void)is_gc;
+    (void)upf_estimate;
+    return 0;
+  }
+
+  /// How many victims the policy wants per cleaning cycle; the store calls
+  /// SelectVictims with min(this, config batch). Multi-log cleans one
+  /// segment at a time (paper §6.1.3 "we only cleaned one segment at a
+  /// time in order to be consistent with [26]").
+  virtual size_t PreferredBatch(size_t config_batch) const {
+    return config_batch;
+  }
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_CLEANING_POLICY_H_

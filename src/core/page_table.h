@@ -1,0 +1,73 @@
+#ifndef LSS_CORE_PAGE_TABLE_H_
+#define LSS_CORE_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lss {
+
+/// Where the current version of a page lives. Log-structured stores never
+/// update in place, so every write moves a page and the table is remapped
+/// (paper §1: "pages are dynamically remapped on every write").
+struct PageLocation {
+  /// Owning segment, or kBufferSegment (in the user write buffer) or
+  /// kInvalidSegment (page not present).
+  SegmentId segment = kInvalidSegment;
+  /// Entry index within the segment, or the buffer slot.
+  uint32_t index = 0;
+
+  bool Present() const { return segment != kInvalidSegment; }
+  bool InBuffer() const { return segment == kBufferSegment; }
+};
+
+/// Per-page metadata the store and the policies need.
+struct PageMeta {
+  PageLocation loc;
+  /// Current version size in bytes.
+  uint32_t bytes = 0;
+  /// Update-count clock at the page's most recent update (up1). Used by
+  /// the multi-log policy's frequency estimate and by the up2 carry rule.
+  UpdateCount last_update = 0;
+};
+
+/// Dense page table: PageId -> PageMeta. Page ids are expected to be
+/// small integers (workloads number their pages 0..P-1); the table grows
+/// on demand.
+class PageTable {
+ public:
+  PageTable() = default;
+
+  /// Returns the metadata slot for `page`, growing the table if needed.
+  PageMeta& Ensure(PageId page) {
+    if (page >= pages_.size()) pages_.resize(page + 1);
+    return pages_[page];
+  }
+
+  /// Metadata for a page known to be in range.
+  const PageMeta& Get(PageId page) const { return pages_[page]; }
+  PageMeta& GetMutable(PageId page) { return pages_[page]; }
+
+  /// True if `page` has ever been written and is currently present.
+  bool Present(PageId page) const {
+    return page < pages_.size() && pages_[page].loc.Present();
+  }
+
+  /// Number of page slots allocated (max page id + 1).
+  size_t Size() const { return pages_.size(); }
+
+  /// Number of currently present pages (O(n); for tests/diagnostics).
+  size_t CountPresent() const {
+    size_t n = 0;
+    for (const auto& m : pages_) n += m.loc.Present() ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<PageMeta> pages_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_PAGE_TABLE_H_

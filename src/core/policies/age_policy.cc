@@ -1,0 +1,17 @@
+#include "core/policies/age_policy.h"
+
+#include "core/policies/selection.h"
+#include "core/store.h"
+
+namespace lss {
+
+void AgePolicy::SelectVictims(const LogStructuredStore& store,
+                              uint32_t /*triggering_log*/, size_t max_victims,
+                              std::vector<SegmentId>* out) const {
+  internal_selection::SelectSmallestSealed(
+      store.segments(), max_victims,
+      [](const Segment& s) { return static_cast<double>(s.seal_time()); },
+      out);
+}
+
+}  // namespace lss

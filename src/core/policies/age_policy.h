@@ -1,0 +1,26 @@
+#ifndef LSS_CORE_POLICIES_AGE_POLICY_H_
+#define LSS_CORE_POLICIES_AGE_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cleaning_policy.h"
+
+namespace lss {
+
+/// Age-based cleaning (paper §2.2, §6.1.3 "age"): always clean the oldest
+/// sealed segment — the one written longest ago. Equivalent to a circular
+/// buffer over segments; optimal under uniform update distributions but
+/// very poor under skew (Figure 5).
+class AgePolicy : public CleaningPolicy {
+ public:
+  std::string name() const override { return "age"; }
+
+  void SelectVictims(const LogStructuredStore& store, uint32_t triggering_log,
+                     size_t max_victims,
+                     std::vector<SegmentId>* out) const override;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_POLICIES_AGE_POLICY_H_

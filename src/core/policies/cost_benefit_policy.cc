@@ -1,0 +1,42 @@
+#include "core/policies/cost_benefit_policy.h"
+
+#include <algorithm>
+
+#include "core/policies/selection.h"
+#include "core/store.h"
+
+namespace lss {
+
+void CostBenefitPolicy::SelectVictims(const LogStructuredStore& store,
+                                      uint32_t /*triggering_log*/,
+                                      size_t max_victims,
+                                      std::vector<SegmentId>* out) const {
+  const double now = static_cast<double>(store.unow());
+  if (formula_ == Formula::kLfs) {
+    internal_selection::SelectSmallestSealed(
+        store.segments(), max_victims,
+        [now](const Segment& s) {
+          const double e = s.Emptiness();
+          const double age = now - static_cast<double>(s.seal_time());
+          // Highest benefit/cost first => negate. A fully-live segment
+          // (e == 0) has zero benefit, never preferred.
+          return -(e * age) / (2.0 - e);
+        },
+        out);
+    return;
+  }
+  // Paper-literal: (1-E)*age/E, maximised. Floor E at one page's worth of
+  // the segment so fully-live segments are strongly preferred but finite.
+  internal_selection::SelectSmallestSealed(
+      store.segments(), max_victims,
+      [now, &store](const Segment& s) {
+        const double floor_e = static_cast<double>(store.config().page_bytes) /
+                               static_cast<double>(s.capacity_bytes());
+        const double e = std::max(s.Emptiness(), floor_e);
+        const double age = now - static_cast<double>(s.seal_time());
+        return -((1.0 - e) * age) / e;
+      },
+      out);
+}
+
+}  // namespace lss

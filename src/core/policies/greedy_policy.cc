@@ -1,0 +1,21 @@
+#include "core/policies/greedy_policy.h"
+
+#include "core/policies/selection.h"
+#include "core/store.h"
+
+namespace lss {
+
+void GreedyPolicy::SelectVictims(const LogStructuredStore& store,
+                                 uint32_t /*triggering_log*/,
+                                 size_t max_victims,
+                                 std::vector<SegmentId>* out) const {
+  internal_selection::SelectSmallestSealed(
+      store.segments(), max_victims,
+      // Most available space first => smallest negated availability.
+      [](const Segment& s) {
+        return -static_cast<double>(s.available_bytes());
+      },
+      out);
+}
+
+}  // namespace lss

@@ -1,0 +1,26 @@
+#ifndef LSS_CORE_POLICIES_GREEDY_POLICY_H_
+#define LSS_CORE_POLICIES_GREEDY_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cleaning_policy.h"
+
+namespace lss {
+
+/// Greedy cleaning (paper §4.5, §6.1.3 "greedy"): always clean the sealed
+/// segment with the most available free space (largest E). Optimal under
+/// uniform updates — where it coincides with age-based cleaning — but it
+/// "leaves cold segments uncleaned for a long time" under skew (§6.2.1).
+class GreedyPolicy : public CleaningPolicy {
+ public:
+  std::string name() const override { return "greedy"; }
+
+  void SelectVictims(const LogStructuredStore& store, uint32_t triggering_log,
+                     size_t max_victims,
+                     std::vector<SegmentId>* out) const override;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_POLICIES_GREEDY_POLICY_H_

@@ -1,0 +1,48 @@
+#include "core/policies/mdc_policy.h"
+
+#include <cassert>
+#include <limits>
+
+#include "core/policies/selection.h"
+#include "core/store.h"
+
+namespace lss {
+
+void MdcPolicy::SelectVictims(const LogStructuredStore& store,
+                              uint32_t /*triggering_log*/, size_t max_victims,
+                              std::vector<SegmentId>* out) const {
+  const double now = static_cast<double>(store.unow());
+  const bool opt = opt_ && store.HasOracle();
+  assert(!opt_ || store.HasOracle());
+
+  internal_selection::SelectSmallestSealed(
+      store.segments(), max_victims,
+      [now, opt](const Segment& s) {
+        const double a = static_cast<double>(s.available_bytes());
+        const double live = static_cast<double>(s.live_bytes());  // B - A
+        const double c = static_cast<double>(s.live_count());
+        if (c == 0.0) {
+          // Fully empty: zero cost decline remains, clean immediately.
+          return -std::numeric_limits<double>::infinity();
+        }
+        if (a == 0.0) {
+          // Nothing reclaimable; infinite projected decline, clean last.
+          return std::numeric_limits<double>::infinity();
+        }
+        const double ratio = live / a;  // (B - A) / A
+        // Per-page update frequency: exact live-page mean for MDC-opt,
+        // else the two-interval up2 estimate 2/(unow - up2) (§4.3).
+        double upf;
+        if (opt) {
+          upf = s.exact_upf_sum() / c;
+        } else {
+          double interval = now - s.up2();
+          if (interval < 1.0) interval = 1.0;
+          upf = 2.0 / interval;
+        }
+        return ratio * ratio * upf / c;
+      },
+      out);
+}
+
+}  // namespace lss

@@ -1,0 +1,51 @@
+#ifndef LSS_CORE_POLICIES_MDC_POLICY_H_
+#define LSS_CORE_POLICIES_MDC_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cleaning_policy.h"
+
+namespace lss {
+
+/// Minimum Declining Cost cleaning — the paper's contribution (§4–§5).
+///
+/// Cleaning cost per segment is 2/E and declines as updates empty the
+/// segment. By the Maximality Lemma (§4.1/Appendix) total cost is
+/// minimised by cleaning first the segments whose cost will decline
+/// *least* — it pays to wait for the big decliners. The estimated decline
+/// rate, §5.1.3, with A available bytes, B segment size, C live pages and
+/// up2 the penultimate-update estimate, is
+///
+///     -dCost/du  ∝  ((B-A)/A)^2 · 1/(C · (unow - up2))
+///
+/// MDC cleans the sealed segments with the smallest decline first.
+/// `use_exact_frequency` selects the MDC-opt variant (§6.1.3), which
+/// replaces the up2-implied per-page frequency 2/(unow - up2) with the
+/// exact mean frequency of the segment's live pages from the workload
+/// oracle.
+///
+/// Placement is single-log; the separation of hot from cold pages comes
+/// from the store's sort-by-up2 write buffering (§5.3), controlled by
+/// StoreConfig::separate_user_writes / separate_gc_writes (the Figure 3
+/// ablations toggle these).
+class MdcPolicy : public CleaningPolicy {
+ public:
+  explicit MdcPolicy(bool use_exact_frequency = false)
+      : opt_(use_exact_frequency) {}
+
+  std::string name() const override { return opt_ ? "MDC-opt" : "MDC"; }
+
+  void SelectVictims(const LogStructuredStore& store, uint32_t triggering_log,
+                     size_t max_victims,
+                     std::vector<SegmentId>* out) const override;
+
+  bool use_exact_frequency() const { return opt_; }
+
+ private:
+  bool opt_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_POLICIES_MDC_POLICY_H_

@@ -1,0 +1,35 @@
+#ifndef LSS_CORE_POLICIES_SELECTION_H_
+#define LSS_CORE_POLICIES_SELECTION_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/segment.h"
+#include "core/types.h"
+
+namespace lss::internal_selection {
+
+/// Selects up to `k` sealed segments with the smallest `key(segment)`,
+/// best (smallest) first, appending their ids to `out`. Policies express
+/// "clean X first" as a scalar key; ties break toward lower segment id so
+/// runs are deterministic.
+template <typename KeyFn>
+void SelectSmallestSealed(const std::vector<Segment>& segments, size_t k,
+                          KeyFn key, std::vector<SegmentId>* out) {
+  std::vector<std::pair<double, SegmentId>> ranked;
+  ranked.reserve(segments.size());
+  for (SegmentId id = 0; id < segments.size(); ++id) {
+    const Segment& s = segments[id];
+    if (s.state() != SegmentState::kSealed) continue;
+    ranked.emplace_back(key(s), id);
+  }
+  if (ranked.empty()) return;
+  k = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end());
+  for (size_t i = 0; i < k; ++i) out->push_back(ranked[i].second);
+}
+
+}  // namespace lss::internal_selection
+
+#endif  // LSS_CORE_POLICIES_SELECTION_H_

@@ -1,0 +1,139 @@
+#ifndef LSS_CORE_SEGMENT_H_
+#define LSS_CORE_SEGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lss {
+
+/// Lifecycle of a physical segment. Free segments hold no data; open
+/// segments are being appended to; sealed segments are immutable and are
+/// the only cleaning candidates.
+enum class SegmentState : uint8_t { kFree, kOpen, kSealed };
+
+/// Which placement stream filled a segment (user writes vs. pages moved by
+/// the cleaner). Kept for diagnostics and for policies that treat the two
+/// differently.
+enum class SegmentSource : uint8_t { kNone, kUser, kGc };
+
+/// A physical segment: an append-only run of page versions plus the
+/// bookkeeping the cleaning analysis needs (paper §5.1.1):
+///   A  available (dead) bytes           -> available_bytes()
+///   C  count of live pages              -> live_count()
+///   up2 penultimate-update estimate     -> up2()
+/// plus the seal time (for age/cost-benefit), the owning log (multi-log),
+/// and the exact-frequency sum of live pages (for the *-opt variants).
+class Segment {
+ public:
+  /// One page version stored in the segment. `page == kInvalidPage` marks
+  /// a dead (overwritten) entry.
+  struct Entry {
+    PageId page = kInvalidPage;
+    uint32_t bytes = 0;
+  };
+
+  explicit Segment(uint32_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Segments are indexed containers owned by the store; copying one would
+  // duplicate bookkeeping that the page table points into.
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  Segment(Segment&&) = default;
+  Segment& operator=(Segment&&) = default;
+
+  /// Transitions kFree -> kOpen for appending. `log` is the placement log
+  /// (0 for single-log policies), `source` records the filling stream.
+  void Open(uint32_t log, SegmentSource source, UpdateCount now);
+
+  /// True if an append of `bytes` fits.
+  bool HasRoomFor(uint32_t bytes) const {
+    return used_bytes_ + bytes <= capacity_;
+  }
+
+  /// Appends a live page version. `up2` is the page's carried
+  /// penultimate-update estimate (averaged into the segment's up2 at seal,
+  /// §5.2.2); `exact_upf` is the oracle frequency or 0. Returns the entry
+  /// index for the page table.
+  uint32_t Append(PageId page, uint32_t bytes, double up2, double exact_upf);
+
+  /// Marks entry `idx` dead because its page was overwritten or deleted.
+  /// Mirrors §5.2.1: subtracts the page size from the live bytes and
+  /// decrements C.
+  void Kill(uint32_t idx, double exact_upf);
+
+  /// Transitions kOpen -> kSealed. The segment's up2 becomes the mean of
+  /// the appended pages' up2 values (§5.2.2 "the value for up2 for the new
+  /// segment is the average up2 for all pages written to it").
+  void Seal(UpdateCount now);
+
+  /// Transitions kSealed (or kOpen, when resetting) -> kFree and drops all
+  /// entries.
+  void Reset();
+
+  // --- Accessors -----------------------------------------------------
+
+  SegmentState state() const { return state_; }
+  SegmentSource source() const { return source_; }
+  uint32_t log() const { return log_; }
+  uint32_t capacity_bytes() const { return capacity_; }
+
+  /// A: bytes not occupied by live page versions (dead entries plus any
+  /// unused tail).
+  uint32_t available_bytes() const { return capacity_ - live_bytes_; }
+  /// Live payload bytes (B - A).
+  uint32_t live_bytes() const { return live_bytes_; }
+  /// C: number of live pages.
+  uint32_t live_count() const { return live_count_; }
+  /// E = A / B, the fraction of the segment that is empty (paper §2.1).
+  double Emptiness() const {
+    return static_cast<double>(available_bytes()) /
+           static_cast<double>(capacity_);
+  }
+
+  /// Segment-level penultimate-update estimate (valid once sealed).
+  double up2() const { return up2_; }
+  /// up2 usable in any state: the sealed value, or the running mean over
+  /// pages appended so far while the segment is still open.
+  double Up2Estimate() const {
+    if (state_ == SegmentState::kSealed) return up2_;
+    return entries_.empty() ? 0.0
+                            : up2_accum_ / static_cast<double>(entries_.size());
+  }
+  /// Update-count clock value when the segment was sealed.
+  UpdateCount seal_time() const { return seal_time_; }
+  /// Update-count clock value when the segment was opened.
+  UpdateCount open_time() const { return open_time_; }
+
+  /// Sum of oracle frequencies over live pages (0 when no oracle is in
+  /// use). Mean live-page frequency is exact_upf_sum()/live_count().
+  double exact_upf_sum() const { return exact_upf_sum_; }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Test hook: recomputes live_bytes/live_count from the entries and
+  /// checks them against the maintained counters.
+  bool CheckCountersConsistent() const;
+
+ private:
+  uint32_t capacity_;
+  SegmentState state_ = SegmentState::kFree;
+  SegmentSource source_ = SegmentSource::kNone;
+  uint32_t log_ = 0;
+
+  std::vector<Entry> entries_;
+  uint32_t used_bytes_ = 0;   // appended bytes including dead entries
+  uint32_t live_bytes_ = 0;   // B - A
+  uint32_t live_count_ = 0;   // C
+
+  double up2_accum_ = 0;      // sum of appended pages' up2 values
+  double up2_ = 0;
+  double exact_upf_sum_ = 0;  // over live pages
+  UpdateCount open_time_ = 0;
+  UpdateCount seal_time_ = 0;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_SEGMENT_H_

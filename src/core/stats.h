@@ -1,0 +1,75 @@
+#ifndef LSS_CORE_STATS_H_
+#define LSS_CORE_STATS_H_
+
+#include <cstdint>
+
+#include "util/histogram.h"
+
+namespace lss {
+
+/// Counters accumulated by a LogStructuredStore. The headline metric is
+/// write amplification Wamp = (GC page moves) / (user page writes), the
+/// paper's Equation 2 measured empirically. ResetMeasurement() zeroes the
+/// counters without disturbing store state, so benches can warm up to
+/// steady state and then measure (paper §6.2 writes 100x the store size so
+/// "the write amplification stabilized").
+class StoreStats {
+ public:
+  StoreStats() : clean_emptiness_(0.0, 1.0, 100) {}
+
+  /// Logical user updates submitted via Write().
+  uint64_t user_updates = 0;
+  /// Physical page writes of user data into segments. Differs from
+  /// user_updates when the write buffer absorbs re-updates of a buffered
+  /// page.
+  uint64_t user_pages_written = 0;
+  /// Still-live pages moved by the cleaner (the paper's "page moves",
+  /// §1.2 — the numerator of Wamp).
+  uint64_t gc_pages_written = 0;
+  /// Segments filled with user data and sealed.
+  uint64_t user_segments_sealed = 0;
+  /// Segments filled with GC'd pages and sealed.
+  uint64_t gc_segments_sealed = 0;
+  /// Victim segments reclaimed.
+  uint64_t segments_cleaned = 0;
+  /// Cleaning cycles executed.
+  uint64_t cleanings = 0;
+  /// Deletes (trims) applied.
+  uint64_t deletes = 0;
+
+  /// Write amplification (Equation 2), measured: moved pages per physical
+  /// user page write.
+  double WriteAmplification() const {
+    if (user_pages_written == 0) return 0.0;
+    return static_cast<double>(gc_pages_written) /
+           static_cast<double>(user_pages_written);
+  }
+
+  /// Mean segment emptiness E observed at clean time (the paper's E in
+  /// Table 1; Cost = 2/E, Equation 1).
+  double MeanCleanEmptiness() const { return clean_emptiness_.mean(); }
+
+  /// Full distribution of emptiness at clean time.
+  const Histogram& clean_emptiness() const { return clean_emptiness_; }
+  Histogram& mutable_clean_emptiness() { return clean_emptiness_; }
+
+  /// Zeroes all counters; store state is untouched.
+  void ResetMeasurement() {
+    user_updates = 0;
+    user_pages_written = 0;
+    gc_pages_written = 0;
+    user_segments_sealed = 0;
+    gc_segments_sealed = 0;
+    segments_cleaned = 0;
+    cleanings = 0;
+    deletes = 0;
+    clean_emptiness_.Reset();
+  }
+
+ private:
+  Histogram clean_emptiness_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_STATS_H_

@@ -1,0 +1,87 @@
+#ifndef LSS_CORE_TYPES_H_
+#define LSS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace lss {
+
+/// Logical page identifier, the unit of update and obsolescence (paper §1.1).
+using PageId = uint64_t;
+
+/// Physical segment index, the unit of space reclamation (paper §1.1).
+using SegmentId = uint32_t;
+
+/// The simulation clock: one tick per logical user update (paper §4.2
+/// measures "time not in clock time but in update count").
+using UpdateCount = uint64_t;
+
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+inline constexpr SegmentId kInvalidSegment =
+    std::numeric_limits<SegmentId>::max();
+/// Sentinel segment id meaning "the current version lives in the user write
+/// buffer"; the location index is then a buffer slot.
+inline constexpr SegmentId kBufferSegment = kInvalidSegment - 1;
+
+/// Oracle giving a page's *exact* relative update frequency, normalised so
+/// that the mean over all user pages is 1 (paper §2.2). The `*-opt` policy
+/// variants (MDC-opt, multi-log-opt) consult this instead of the up2-based
+/// estimate; workload generators know their own distribution and provide it.
+using ExactFrequencyFn = std::function<double(PageId)>;
+
+/// Minimal status type: library code signals failures by value instead of
+/// throwing across the API boundary.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kOutOfSpace,     // cleaning cannot reclaim any segment
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status OutOfSpace(std::string m) {
+    return Status(Code::kOutOfSpace, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(Code::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(Code::kNotFound, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(Code::kCorruption, std::move(m));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kOutOfSpace: name = "OUT_OF_SPACE"; break;
+      case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case Code::kNotFound: name = "NOT_FOUND"; break;
+      case Code::kCorruption: name = "CORRUPTION"; break;
+    }
+    return std::string(name) + ": " + msg_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_TYPES_H_

@@ -1,0 +1,136 @@
+#ifndef LSS_TPCC_KEYS_H_
+#define LSS_TPCC_KEYS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lss::tpcc {
+
+/// Composite key encoding for the TPC-C tables: big-endian fixed-width
+/// integer fields concatenate into byte strings whose memcmp order equals
+/// the tuple order, so B+-tree range scans follow the schema's natural
+/// sort.
+
+inline void AppendU32(std::string* key, uint32_t v) {
+  key->push_back(static_cast<char>(v >> 24));
+  key->push_back(static_cast<char>(v >> 16));
+  key->push_back(static_cast<char>(v >> 8));
+  key->push_back(static_cast<char>(v));
+}
+
+inline uint32_t ReadU32(std::string_view key, size_t offset) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(key[offset])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(key[offset + 1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(key[offset + 2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(key[offset + 3]));
+}
+
+inline std::string WarehouseKey(uint32_t w) {
+  std::string k;
+  AppendU32(&k, w);
+  return k;
+}
+
+inline std::string DistrictKey(uint32_t w, uint32_t d) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, d);
+  return k;
+}
+
+inline std::string CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, d);
+  AppendU32(&k, c);
+  return k;
+}
+
+/// Secondary index for Payment/Order-Status by last name. The name field
+/// is fixed-width (16 bytes, space padded) so that the (w, d, last_name)
+/// prefix is a contiguous key range.
+inline std::string CustomerNameKey(uint32_t w, uint32_t d,
+                                   std::string_view last, uint32_t c) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, d);
+  std::string padded(last.substr(0, 16));
+  padded.resize(16, ' ');
+  k += padded;
+  AppendU32(&k, c);
+  return k;
+}
+
+/// Prefix of CustomerNameKey covering every customer id.
+inline std::string CustomerNamePrefix(uint32_t w, uint32_t d,
+                                      std::string_view last) {
+  return CustomerNameKey(w, d, last, 0).substr(0, 24);
+}
+
+inline std::string OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, d);
+  AppendU32(&k, o);
+  return k;
+}
+
+/// Index for "a customer's most recent order": the order id is stored
+/// bit-complemented, so the smallest key in the (w, d, c) prefix is the
+/// newest order.
+inline std::string OrderCustomerKey(uint32_t w, uint32_t d, uint32_t c,
+                                    uint32_t o) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, d);
+  AppendU32(&k, c);
+  AppendU32(&k, ~o);
+  return k;
+}
+
+inline std::string NewOrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return OrderKey(w, d, o);
+}
+
+inline std::string OrderLineKey(uint32_t w, uint32_t d, uint32_t o,
+                                uint32_t line) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, d);
+  AppendU32(&k, o);
+  AppendU32(&k, line);
+  return k;
+}
+
+inline std::string ItemKey(uint32_t i) {
+  std::string k;
+  AppendU32(&k, i);
+  return k;
+}
+
+inline std::string StockKey(uint32_t w, uint32_t i) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, i);
+  return k;
+}
+
+inline std::string HistoryKey(uint32_t w, uint32_t d, uint64_t seq) {
+  std::string k;
+  AppendU32(&k, w);
+  AppendU32(&k, d);
+  AppendU32(&k, static_cast<uint32_t>(seq >> 32));
+  AppendU32(&k, static_cast<uint32_t>(seq));
+  return k;
+}
+
+/// True if `key` starts with `prefix`.
+inline bool HasPrefix(std::string_view key, std::string_view prefix) {
+  return key.size() >= prefix.size() &&
+         key.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace lss::tpcc
+
+#endif  // LSS_TPCC_KEYS_H_

@@ -1,0 +1,166 @@
+#ifndef LSS_TPCC_SCHEMA_H_
+#define LSS_TPCC_SCHEMA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace lss::tpcc {
+
+/// TPC-C row types, stored as packed fixed-layout structs (the classic
+/// flat-record representation; variable-text fields use fixed char arrays
+/// as in the standard's CHAR(n) columns, truncated where the standard
+/// allows VARCHAR). Rows are memcpy-serialised into B+-tree values.
+///
+/// Field widths follow TPC-C clause 1.3; a few of the widest filler
+/// columns (c_data 500 -> 300, s_data/i_data 50 -> 40) are trimmed so
+/// every row respects the engine's payload cap while keeping row sizes —
+/// and therefore page-write patterns — representative.
+
+#pragma pack(push, 1)
+
+struct WarehouseRow {
+  int32_t w_id;
+  char w_name[10];
+  char w_street_1[20];
+  char w_street_2[20];
+  char w_city[20];
+  char w_state[2];
+  char w_zip[9];
+  double w_tax;
+  double w_ytd;
+};
+
+struct DistrictRow {
+  int32_t d_id;
+  int32_t d_w_id;
+  char d_name[10];
+  char d_street_1[20];
+  char d_street_2[20];
+  char d_city[20];
+  char d_state[2];
+  char d_zip[9];
+  double d_tax;
+  double d_ytd;
+  int32_t d_next_o_id;
+};
+
+struct CustomerRow {
+  int32_t c_id;
+  int32_t c_d_id;
+  int32_t c_w_id;
+  char c_first[16];
+  char c_middle[2];
+  char c_last[16];
+  char c_street_1[20];
+  char c_street_2[20];
+  char c_city[20];
+  char c_state[2];
+  char c_zip[9];
+  char c_phone[16];
+  int64_t c_since;
+  char c_credit[2];  // "GC" or "BC"
+  double c_credit_lim;
+  double c_discount;
+  double c_balance;
+  double c_ytd_payment;
+  int32_t c_payment_cnt;
+  int32_t c_delivery_cnt;
+  char c_data[300];
+};
+
+struct HistoryRow {
+  int32_t h_c_id;
+  int32_t h_c_d_id;
+  int32_t h_c_w_id;
+  int32_t h_d_id;
+  int32_t h_w_id;
+  int64_t h_date;
+  double h_amount;
+  char h_data[24];
+};
+
+struct NewOrderRow {
+  int32_t no_o_id;
+  int32_t no_d_id;
+  int32_t no_w_id;
+};
+
+struct OrderRow {
+  int32_t o_id;
+  int32_t o_d_id;
+  int32_t o_w_id;
+  int32_t o_c_id;
+  int64_t o_entry_d;
+  int32_t o_carrier_id;  // 0 = not yet delivered
+  int32_t o_ol_cnt;
+  int32_t o_all_local;
+};
+
+struct OrderLineRow {
+  int32_t ol_o_id;
+  int32_t ol_d_id;
+  int32_t ol_w_id;
+  int32_t ol_number;
+  int32_t ol_i_id;
+  int32_t ol_supply_w_id;
+  int64_t ol_delivery_d;  // 0 = not delivered
+  int32_t ol_quantity;
+  double ol_amount;
+  char ol_dist_info[24];
+};
+
+struct ItemRow {
+  int32_t i_id;
+  int32_t i_im_id;
+  char i_name[24];
+  double i_price;
+  char i_data[40];
+};
+
+struct StockRow {
+  int32_t s_i_id;
+  int32_t s_w_id;
+  int32_t s_quantity;
+  char s_dist[10][24];
+  double s_ytd;
+  int32_t s_order_cnt;
+  int32_t s_remote_cnt;
+  char s_data[40];
+};
+
+#pragma pack(pop)
+
+/// memcpy-serialisation helpers. Rows are PODs, so a byte copy is a
+/// faithful round trip within one process.
+template <typename Row>
+std::string_view RowView(const Row& row) {
+  return std::string_view(reinterpret_cast<const char*>(&row), sizeof(Row));
+}
+
+template <typename Row>
+bool RowFrom(std::string_view bytes, Row* row) {
+  if (bytes.size() != sizeof(Row)) return false;
+  std::memcpy(row, bytes.data(), sizeof(Row));
+  return true;
+}
+
+/// Copies a string into a fixed char field, space-padded (CHAR(n)).
+template <size_t N>
+void SetField(char (&field)[N], std::string_view s) {
+  const size_t n = s.size() < N ? s.size() : N;
+  std::memcpy(field, s.data(), n);
+  std::memset(field + n, ' ', N - n);
+}
+
+template <size_t N>
+std::string GetField(const char (&field)[N]) {
+  size_t end = N;
+  while (end > 0 && field[end - 1] == ' ') --end;
+  return std::string(field, end);
+}
+
+}  // namespace lss::tpcc
+
+#endif  // LSS_TPCC_SCHEMA_H_

@@ -1,0 +1,48 @@
+#include "tpcc/tpcc_random.h"
+
+#include <cassert>
+
+namespace lss {
+
+int64_t TpccRandom::NURand(int64_t a, int64_t x, int64_t y) {
+  int64_t c = 0;
+  switch (a) {
+    case 255: c = kC255; break;
+    case 1023: c = kC1023; break;
+    case 8191: c = kC8191; break;
+    default: assert(false && "unexpected NURand A");
+  }
+  const int64_t r1 = Uniform(0, a);
+  const int64_t r2 = Uniform(x, y);
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+std::string TpccRandom::LastName(int num) {
+  static constexpr const char* kSyllables[] = {
+      "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+      "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+  assert(num >= 0 && num <= 999);
+  std::string name;
+  name += kSyllables[num / 100];
+  name += kSyllables[(num / 10) % 10];
+  name += kSyllables[num % 10];
+  return name;
+}
+
+std::string TpccRandom::AString(int lo, int hi) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const int len = static_cast<int>(Uniform(lo, hi));
+  std::string s(len, ' ');
+  for (char& c : s) c = kChars[rng_.NextBounded(sizeof(kChars) - 1)];
+  return s;
+}
+
+std::string TpccRandom::NString(int lo, int hi) {
+  const int len = static_cast<int>(Uniform(lo, hi));
+  std::string s(len, '0');
+  for (char& c : s) c = static_cast<char>('0' + rng_.NextBounded(10));
+  return s;
+}
+
+}  // namespace lss

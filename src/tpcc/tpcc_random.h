@@ -1,0 +1,58 @@
+#ifndef LSS_TPCC_TPCC_RANDOM_H_
+#define LSS_TPCC_TPCC_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace lss {
+
+/// TPC-C input generation helpers (TPC-C standard clauses 2.1.6, 4.3.2):
+/// the non-uniform NURand distribution for customer/item selection, the
+/// syllable-based customer last names, and random alphanumeric strings.
+class TpccRandom {
+ public:
+  explicit TpccRandom(uint64_t seed) : rng_(seed) {}
+
+  /// Uniform integer in [lo, hi].
+  int64_t Uniform(int64_t lo, int64_t hi) { return rng_.NextInRange(lo, hi); }
+
+  double UniformDouble() { return rng_.NextDouble(); }
+
+  /// NURand(A, x, y) = (((rand(0,A) | rand(x,y)) + C) % (y - x + 1)) + x.
+  int64_t NURand(int64_t a, int64_t x, int64_t y);
+
+  /// Customer last name for `num` in [0, 999], built from three
+  /// syllables (clause 4.3.2.3).
+  static std::string LastName(int num);
+
+  /// Last-name number for the load phase (uniform 0..999) and the run
+  /// phase (NURand(255, 0, 999)).
+  std::string RandomLastNameLoad() {
+    return LastName(static_cast<int>(Uniform(0, 999)));
+  }
+  std::string RandomLastNameRun() {
+    return LastName(static_cast<int>(NURand(255, 0, 999)));
+  }
+
+  /// Random alphanumeric string with length in [lo, hi].
+  std::string AString(int lo, int hi);
+  /// Random numeric string with length in [lo, hi].
+  std::string NString(int lo, int hi);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  // The TPC-C C constants for NURand; fixed arbitrary values are
+  // permitted for a single data set.
+  static constexpr int64_t kC255 = 91;
+  static constexpr int64_t kC1023 = 453;
+  static constexpr int64_t kC8191 = 3049;
+
+  Rng rng_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_TPCC_TPCC_RANDOM_H_

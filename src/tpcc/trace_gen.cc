@@ -1,0 +1,39 @@
+#include "tpcc/trace_gen.h"
+
+namespace lss::tpcc {
+
+TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
+                                  uint64_t warm_txns, uint64_t measure_txns,
+                                  uint64_t checkpoint_every) {
+  TpccTraceResult result;
+  TpccDb db(config, &result.trace);
+  db.Populate();
+  // Push the populated database to storage so the load phase of the
+  // trace writes every page at least once (the replaying store needs the
+  // full data set resident before steady-state measurement).
+  db.Checkpoint();
+  result.pages_after_load = db.PageCount();
+
+  uint64_t since_checkpoint = 0;
+  for (uint64_t i = 0; i < warm_txns; ++i) {
+    db.RunNextTransaction();
+    if (checkpoint_every > 0 && ++since_checkpoint >= checkpoint_every) {
+      db.Checkpoint();
+      since_checkpoint = 0;
+    }
+  }
+  result.measure_from = result.trace.Size();
+  for (uint64_t i = 0; i < measure_txns; ++i) {
+    db.RunNextTransaction();
+    if (checkpoint_every > 0 && ++since_checkpoint >= checkpoint_every) {
+      db.Checkpoint();
+      since_checkpoint = 0;
+    }
+  }
+  db.Checkpoint();
+  result.pages_final = db.PageCount();
+  result.transactions = warm_txns + measure_txns;
+  return result;
+}
+
+}  // namespace lss::tpcc

@@ -1,0 +1,41 @@
+#ifndef LSS_TPCC_TRACE_GEN_H_
+#define LSS_TPCC_TRACE_GEN_H_
+
+#include <cstdint>
+
+#include "tpcc/tpcc_db.h"
+#include "workload/trace.h"
+
+namespace lss::tpcc {
+
+/// Output of a TPC-C trace-collection run (the paper's §6.3 pipeline:
+/// run TPC-C on the B+-tree engine, collect page-write I/O, then replay
+/// through the cleaning simulator).
+struct TpccTraceResult {
+  Trace trace;
+  /// Trace index where the measurement phase begins (after population
+  /// and warm-up, mirroring "the write amplification was measured during
+  /// running phase").
+  size_t measure_from = 0;
+  /// Database pages right after population.
+  uint64_t pages_after_load = 0;
+  /// Database pages at the end of the run (TPC-C storage grows over
+  /// time, §6.3); size the simulated device as pages_final / fill_factor.
+  uint64_t pages_final = 0;
+  /// Transactions executed in warm-up + measurement.
+  uint64_t transactions = 0;
+};
+
+/// Populates a TPC-C database and runs `warm_txns + measure_txns`
+/// transactions of the standard mix, recording every buffer-pool page
+/// write-back. `checkpoint_every` > 0 additionally flushes all dirty
+/// pages every that-many transactions (a fuzzy checkpoint), which is how
+/// cold dirty pages reach storage in engines whose cache would otherwise
+/// absorb them. A final checkpoint closes the trace.
+TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
+                                  uint64_t warm_txns, uint64_t measure_txns,
+                                  uint64_t checkpoint_every = 0);
+
+}  // namespace lss::tpcc
+
+#endif  // LSS_TPCC_TRACE_GEN_H_

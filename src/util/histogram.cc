@@ -1,0 +1,80 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+namespace lss {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+  Reset();
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+size_t Histogram::BucketFor(double v) const {
+  if (v < lo_) return 0;
+  size_t i = static_cast<size_t>((v - lo_) / width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::Add(double v) {
+  counts_[BucketFor(v)]++;
+  count_++;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t next = seen + counts_[i];
+    if (static_cast<double>(next) >= target && counts_[i] > 0) {
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.4f p50=%.4f p99=%.4f min=%.4f max=%.4f",
+                static_cast<unsigned long long>(count_), mean(),
+                Quantile(0.5), Quantile(0.99), count_ ? min_ : 0.0,
+                count_ ? max_ : 0.0);
+  return buf;
+}
+
+}  // namespace lss

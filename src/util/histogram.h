@@ -1,0 +1,52 @@
+#ifndef LSS_UTIL_HISTOGRAM_H_
+#define LSS_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lss {
+
+/// Fixed-bucket histogram over doubles in [lo, hi); values outside the
+/// range are clamped into the first/last bucket. Used by the benches to
+/// summarise per-segment emptiness at clean time and by tests to check
+/// distribution shapes.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double v);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Approximate quantile (linear interpolation within the bucket).
+  /// q must be in [0, 1]. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Number of samples in bucket `i`.
+  uint64_t BucketCount(size_t i) const { return counts_[i]; }
+  size_t NumBuckets() const { return counts_.size(); }
+
+  /// One-line summary "count=... mean=... p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(double v) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace lss
+
+#endif  // LSS_UTIL_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lss {
+
+TablePrinter::Cell::Cell(double v, int prec) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  text = buf;
+}
+
+TablePrinter::Cell::Cell(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  text = buf;
+}
+
+TablePrinter::Cell::Cell(int v) { text = std::to_string(v); }
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<Cell> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].text.size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%*s", c ? "  " : "", static_cast<int>(widths[c]),
+                   cells[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    std::vector<std::string> texts;
+    texts.reserve(row.size());
+    for (const auto& cell : row) texts.push_back(cell.text);
+    print_row(texts);
+  }
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](auto get, size_t n) {
+    for (size_t c = 0; c < n; ++c) {
+      std::fprintf(out, "%s%s", c ? "," : "", get(c));
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row([&](size_t c) { return headers_[c].c_str(); }, headers_.size());
+  for (const auto& row : rows_) {
+    print_row([&](size_t c) { return row[c].text.c_str(); }, row.size());
+  }
+}
+
+}  // namespace lss

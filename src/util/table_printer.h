@@ -1,0 +1,53 @@
+#ifndef LSS_UTIL_TABLE_PRINTER_H_
+#define LSS_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lss {
+
+/// Formats rows of mixed numeric/string cells as an aligned, monospace
+/// table, the way the paper's tables read. The bench binaries use this so
+/// every table/figure reproduction prints comparable rows.
+///
+/// Usage:
+///   TablePrinter t({"F", "E", "Cost", "Wamp"});
+///   t.AddRow({Cell(0.8), Cell(0.375), Cell(5.33), Cell(1.66)});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  /// A single table cell; stores its rendered text.
+  struct Cell {
+    std::string text;
+
+    Cell() = default;
+    explicit Cell(std::string s) : text(std::move(s)) {}
+    explicit Cell(const char* s) : text(s) {}
+    /// Renders a double with `prec` significant decimal places.
+    explicit Cell(double v, int prec = 3);
+    explicit Cell(uint64_t v);
+    explicit Cell(int v);
+  };
+
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<Cell> cells);
+
+  /// Render the whole table to `out`. Columns are right-aligned and padded
+  /// to the widest entry; a rule separates the header.
+  void Print(std::FILE* out) const;
+
+  /// Render as comma-separated values (for downstream plotting).
+  void PrintCsv(std::FILE* out) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,78 @@
+#include "util/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lss {
+
+namespace {
+
+// zeta(n, theta) = sum_{i=1}^{n} 1/i^theta.
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta > 0.0);
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(v);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+double ZipfGenerator::Pmf(uint64_t r) const {
+  assert(r < n_);
+  return 1.0 / (std::pow(static_cast<double>(r + 1), theta_) * zetan_);
+}
+
+double ZipfGenerator::SampleMass(uint64_t r) const {
+  assert(r < n_);
+  // Next() is a monotone map from u in [0,1) to ranks:
+  //   u <  t0            -> 0
+  //   u in [t0, t1)      -> 1
+  //   u >= t1            -> min(floor(n*(eta*u - eta + 1)^alpha), n-1)
+  // The mass of rank r is the measure of u mapping to it; the continuous
+  // branch can also land on ranks 0 and 1, overlapping the shortcuts.
+  const double t0 = 1.0 / zetan_;
+  const double t1 = (1.0 + std::pow(0.5, theta_)) / zetan_;
+  double mass = 0.0;
+  if (r == 0) mass += t0;
+  if (r == 1) mass += t1 - t0;
+
+  // u where the continuous branch crosses v(u) = rank (v is increasing).
+  auto crossing = [&](double rank) {
+    return 1.0 + (std::pow(rank / static_cast<double>(n_), 1.0 - theta_) -
+                  1.0) /
+                     eta_;
+  };
+  const double clip_lo = t1;
+  double lo = (r == 0) ? clip_lo : crossing(static_cast<double>(r));
+  double hi = (r + 1 >= n_) ? 1.0 : crossing(static_cast<double>(r + 1));
+  lo = std::min(std::max(lo, clip_lo), 1.0);
+  hi = std::min(std::max(hi, clip_lo), 1.0);
+  if (hi > lo) mass += hi - lo;
+  return mass;
+}
+
+}  // namespace lss

@@ -1,0 +1,77 @@
+#ifndef LSS_UTIL_ZIPF_H_
+#define LSS_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace lss {
+
+/// Zipfian rank sampler over {0, 1, ..., n-1} with skew parameter theta,
+/// where rank r is drawn with probability proportional to 1/(r+1)^theta.
+///
+/// Implements the rejection-free method of Gray et al. ("Quickly
+/// Generating Billion-Record Synthetic Databases", SIGMOD 1994), the same
+/// generator YCSB uses. Sampling is O(1) after an O(n) zeta precomputation.
+///
+/// The paper evaluates "80-20 Zipfian (factor 0.99)" and "90-10 Zipfian
+/// (factor 1.35)" update distributions (Section 6.2.2); this class is the
+/// source of those streams.
+class ZipfGenerator {
+ public:
+  /// Creates a sampler over `n` items with skew `theta` (0 < theta,
+  /// theta != 1 is not required; theta == 1 is handled). theta = 0 would be
+  /// uniform; use Rng directly for that.
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws a Zipf-distributed rank in [0, n). Rank 0 is the hottest.
+  uint64_t Next(Rng& rng) const;
+
+  /// Ideal Zipf probability mass of rank `r`: 1/((r+1)^theta * zeta_n).
+  double Pmf(uint64_t r) const;
+
+  /// Exact probability that Next() returns rank `r` *under this
+  /// generator*. The Gray et al. method is a continuous approximation of
+  /// the ideal pmf, so the two differ by a few percent for small ranks
+  /// (noticeably for theta > 1). Oracles that must agree with what the
+  /// sampler actually draws (the `*-opt` policy variants) use this.
+  double SampleMass(uint64_t r) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Zipfian sampler whose ranks are scattered across the item space with a
+/// stateless hash (SplitMix64 mod n), so the hot items are not clustered at
+/// low ids. Matches YCSB's "scrambled zipfian". The mapping rank -> item is
+/// deterministic, so exact per-item probabilities remain computable.
+class ScrambledZipfGenerator {
+ public:
+  ScrambledZipfGenerator(uint64_t n, double theta)
+      : zipf_(n, theta) {}
+
+  /// Draws an item id in [0, n).
+  uint64_t Next(Rng& rng) const { return Scatter(zipf_.Next(rng)); }
+
+  /// The item id that rank `r` maps to.
+  uint64_t Scatter(uint64_t rank) const {
+    return SplitMix64(rank) % zipf_.n();
+  }
+
+  const ZipfGenerator& zipf() const { return zipf_; }
+
+ private:
+  ZipfGenerator zipf_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_UTIL_ZIPF_H_

@@ -1,0 +1,131 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lss {
+
+namespace {
+
+RunResult Fail(Status s, const std::string& variant) {
+  RunResult r;
+  r.status = std::move(s);
+  r.variant = variant;
+  return r;
+}
+
+}  // namespace
+
+StoreConfig ScaleConfigForFill(const StoreConfig& base, uint64_t user_pages,
+                               double f) {
+  StoreConfig cfg = base;
+  const uint64_t pages_per_seg = cfg.segment_bytes / cfg.page_bytes;
+  const double phys_pages = static_cast<double>(user_pages) / f;
+  cfg.num_segments = static_cast<uint32_t>(
+      std::llround(phys_pages / static_cast<double>(pages_per_seg)));
+  if (cfg.num_segments < 8) cfg.num_segments = 8;
+  return cfg;
+}
+
+RunResult RunSynthetic(const StoreConfig& config, Variant variant,
+                       const WorkloadGenerator& workload,
+                       const RunSpec& spec) {
+  const std::string label = VariantName(variant);
+  StoreConfig cfg = config;
+  ApplyVariantConfig(variant, &cfg);
+
+  Status status;
+  auto store = LogStructuredStore::Create(cfg, MakePolicy(variant), &status);
+  if (store == nullptr) return Fail(status, label);
+
+  if (VariantNeedsOracle(variant)) {
+    store->SetExactFrequencyOracle(
+        [&workload](PageId p) { return workload.ExactFrequency(p); });
+  }
+
+  const uint64_t user_pages = std::min<uint64_t>(
+      workload.NumPages(),
+      cfg.UserPagesForFillFactor(spec.fill_factor));
+  if (user_pages < workload.NumPages()) {
+    return Fail(Status::InvalidArgument(
+                    "device too small for workload at this fill factor"),
+                label);
+  }
+
+  Rng rng(spec.seed);
+
+  // Load phase: first write of every page.
+  for (PageId p = 0; p < user_pages; ++p) {
+    Status s = store->Write(p);
+    if (!s.ok()) return Fail(s, label);
+  }
+
+  const uint64_t warm = static_cast<uint64_t>(
+      spec.warmup_multiplier * static_cast<double>(user_pages));
+  for (uint64_t i = 0; i < warm; ++i) {
+    Status s = store->Write(workload.NextPage(rng));
+    if (!s.ok()) return Fail(s, label);
+  }
+
+  store->mutable_stats().ResetMeasurement();
+  const uint64_t measure = static_cast<uint64_t>(
+      spec.measure_multiplier * static_cast<double>(user_pages));
+  for (uint64_t i = 0; i < measure; ++i) {
+    Status s = store->Write(workload.NextPage(rng));
+    if (!s.ok()) return Fail(s, label);
+  }
+
+  RunResult r;
+  r.status = Status::OK();
+  r.variant = label;
+  r.wamp = store->stats().WriteAmplification();
+  r.mean_clean_emptiness = store->stats().MeanCleanEmptiness();
+  r.measured_updates = store->stats().user_updates;
+  r.effective_fill = store->CurrentFillFactor();
+  return r;
+}
+
+RunResult RunTrace(const StoreConfig& config, Variant variant,
+                   const Trace& trace, size_t measure_from) {
+  const std::string label = VariantName(variant);
+  StoreConfig cfg = config;
+  ApplyVariantConfig(variant, &cfg);
+
+  Status status;
+  auto store = LogStructuredStore::Create(cfg, MakePolicy(variant), &status);
+  if (store == nullptr) return Fail(status, label);
+
+  std::vector<double> freqs;
+  if (VariantNeedsOracle(variant)) {
+    freqs = trace.ComputeExactFrequencies(measure_from, trace.Size());
+    store->SetExactFrequencyOracle([freqs = std::move(freqs)](PageId p) {
+      return p < freqs.size() ? freqs[p] : 1.0;
+    });
+  }
+
+  const auto& recs = trace.records();
+  measure_from = std::min(measure_from, recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (i == measure_from) store->mutable_stats().ResetMeasurement();
+    const TraceRecord& rec = recs[i];
+    Status s;
+    if (rec.op == TraceRecord::Op::kWrite) {
+      s = store->Write(rec.page, rec.bytes);
+    } else {
+      s = store->Delete(rec.page);
+      if (s.code() == Status::Code::kNotFound) s = Status::OK();
+    }
+    if (!s.ok()) return Fail(s, label);
+  }
+
+  RunResult r;
+  r.status = Status::OK();
+  r.variant = label;
+  r.wamp = store->stats().WriteAmplification();
+  r.mean_clean_emptiness = store->stats().MeanCleanEmptiness();
+  r.measured_updates = store->stats().user_updates;
+  r.effective_fill = store->CurrentFillFactor();
+  return r;
+}
+
+}  // namespace lss

@@ -1,0 +1,67 @@
+#ifndef LSS_WORKLOAD_RUNNER_H_
+#define LSS_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.h"
+#include "core/policy_factory.h"
+#include "core/store.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace lss {
+
+/// Parameters of one simulation run, mirroring the paper's methodology
+/// (§6.2): fill the store, run updates until write amplification
+/// stabilises, then measure.
+struct RunSpec {
+  /// User-visible pages / physical pages (paper's F).
+  double fill_factor = 0.8;
+  /// Warm-up updates, as a multiple of the user page count.
+  double warmup_multiplier = 6.0;
+  /// Measured updates, as a multiple of the user page count.
+  double measure_multiplier = 12.0;
+  uint64_t seed = 42;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  Status status;
+  /// Measured write amplification (Equation 2).
+  double wamp = 0.0;
+  /// Mean segment emptiness at clean time during measurement.
+  double mean_clean_emptiness = 0.0;
+  /// Updates performed in the measurement phase.
+  uint64_t measured_updates = 0;
+  /// Live-bytes / device-bytes at the end (should track fill_factor).
+  double effective_fill = 0.0;
+  /// Paper figure label of the variant.
+  std::string variant;
+};
+
+/// Builds a store for `variant` (applying its placement conventions to
+/// `config`), installs the generator's exact-frequency oracle when the
+/// variant needs one, and runs load -> warm-up -> measure with updates
+/// drawn from `workload`. The store is destroyed on return.
+RunResult RunSynthetic(const StoreConfig& config, Variant variant,
+                       const WorkloadGenerator& workload, const RunSpec& spec);
+
+/// Replays `trace` through a store for `variant`. Records before
+/// `measure_from` (e.g. the population phase) run as warm-up; measurement
+/// covers [measure_from, end). When the variant needs an oracle the
+/// frequencies are pre-analysed from the measured suffix of the trace, as
+/// the paper does for TPC-C (§6.3). `config` supplies the device geometry
+/// (choose num_segments to hit the desired fill factor).
+RunResult RunTrace(const StoreConfig& config, Variant variant,
+                   const Trace& trace, size_t measure_from);
+
+/// Convenience: a StoreConfig scaled so that `user_pages` occupy fill
+/// factor `f` of the device, with trigger/batch/buffer kept at the
+/// bench defaults (segment_bytes/page_bytes from `base`).
+StoreConfig ScaleConfigForFill(const StoreConfig& base, uint64_t user_pages,
+                               double f);
+
+}  // namespace lss
+
+#endif  // LSS_WORKLOAD_RUNNER_H_

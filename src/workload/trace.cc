@@ -1,0 +1,101 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+
+namespace lss {
+
+namespace {
+constexpr uint64_t kTraceMagic = 0x4c53535452414345ULL;  // "LSSTRACE"
+constexpr uint32_t kTraceVersion = 1;
+}  // namespace
+
+PageId Trace::MaxPageId() const {
+  PageId max_id = 0;
+  bool any = false;
+  for (const TraceRecord& r : records_) {
+    if (r.page == kInvalidPage) continue;
+    any = true;
+    if (r.page >= max_id) max_id = r.page + 1;
+  }
+  return any ? max_id : 0;
+}
+
+std::vector<double> Trace::ComputeExactFrequencies(size_t begin,
+                                                   size_t end) const {
+  if (end > records_.size()) end = records_.size();
+  const PageId n = MaxPageId();
+  std::vector<double> freq(n, 0.0);
+  uint64_t writes = 0;
+  uint64_t touched = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const TraceRecord& r = records_[i];
+    if (r.op != TraceRecord::Op::kWrite) continue;
+    if (freq[r.page] == 0.0) ++touched;
+    freq[r.page] += 1.0;
+    ++writes;
+  }
+  if (writes == 0 || touched == 0) return freq;
+  // Normalise to mean 1 over pages that appear; untouched pages keep a
+  // tiny positive value so the oracle never reports "never updated" for a
+  // page the replay does write (e.g. during the load prefix).
+  const double scale = static_cast<double>(touched) /
+                       static_cast<double>(writes);
+  double min_pos = 1.0;
+  for (double& f : freq) {
+    f *= scale;
+    if (f > 0.0 && f < min_pos) min_pos = f;
+  }
+  for (double& f : freq) {
+    if (f == 0.0) f = min_pos * 0.5;
+  }
+  return freq;
+}
+
+bool Trace::SaveTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  const uint64_t count = records_.size();
+  ok = ok && std::fwrite(&kTraceMagic, sizeof(kTraceMagic), 1, f) == 1;
+  ok = ok && std::fwrite(&kTraceVersion, sizeof(kTraceVersion), 1, f) == 1;
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  for (const TraceRecord& r : records_) {
+    if (!ok) break;
+    const uint8_t op = static_cast<uint8_t>(r.op);
+    ok = ok && std::fwrite(&op, 1, 1, f) == 1;
+    ok = ok && std::fwrite(&r.page, sizeof(r.page), 1, f) == 1;
+    ok = ok && std::fwrite(&r.bytes, sizeof(r.bytes), 1, f) == 1;
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool Trace::LoadFrom(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  ok = ok && std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+       magic == kTraceMagic;
+  ok = ok && std::fread(&version, sizeof(version), 1, f) == 1 &&
+       version == kTraceVersion;
+  ok = ok && std::fread(&count, sizeof(count), 1, f) == 1;
+  records_.clear();
+  if (ok) records_.reserve(count);
+  for (uint64_t i = 0; ok && i < count; ++i) {
+    uint8_t op = 0;
+    TraceRecord r;
+    ok = ok && std::fread(&op, 1, 1, f) == 1;
+    ok = ok && std::fread(&r.page, sizeof(r.page), 1, f) == 1;
+    ok = ok && std::fread(&r.bytes, sizeof(r.bytes), 1, f) == 1;
+    r.op = static_cast<TraceRecord::Op>(op);
+    if (ok) records_.push_back(r);
+  }
+  std::fclose(f);
+  if (!ok) records_.clear();
+  return ok;
+}
+
+}  // namespace lss

@@ -1,0 +1,27 @@
+#include "workload/zipfian_workload.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace lss {
+
+ZipfianWorkload::ZipfianWorkload(uint64_t pages, double theta)
+    : pages_(pages), theta_(theta), gen_(pages, theta) {
+  assert(pages >= 2);
+  exact_freq_.assign(pages, 0.0);
+  // Fold the scatter map into the frequency table: several ranks may land
+  // on the same page. Frequencies are normalised to mean 1 (multiply the
+  // probability mass by the page count).
+  const double scale = static_cast<double>(pages);
+  for (uint64_t r = 0; r < pages; ++r) {
+    exact_freq_[gen_.Scatter(r)] += scale * gen_.zipf().SampleMass(r);
+  }
+}
+
+std::string ZipfianWorkload::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "zipfian theta=%.2f", theta_);
+  return buf;
+}
+
+}  // namespace lss

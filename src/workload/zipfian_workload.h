@@ -1,0 +1,43 @@
+#ifndef LSS_WORKLOAD_ZIPFIAN_WORKLOAD_H_
+#define LSS_WORKLOAD_ZIPFIAN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "util/zipf.h"
+#include "workload/generator.h"
+
+namespace lss {
+
+/// Scrambled Zipfian page updates (paper §6.2.2): "the 80-20 Zipfian
+/// distribution (Zipfian factor 0.99) and the 90-10 Zipfian distribution
+/// (Zipfian factor 1.35)". Ranks are scattered across the page space by a
+/// stateless hash, so hot pages are not id-adjacent. Because the scatter
+/// can collide, the exact per-page frequency table is computed from the
+/// actual rank->page mapping at construction (it is what the *-opt
+/// variants feed on, so it must match the sampler exactly).
+class ZipfianWorkload : public WorkloadGenerator {
+ public:
+  ZipfianWorkload(uint64_t pages, double theta);
+
+  std::string name() const override;
+  uint64_t NumPages() const override { return pages_; }
+  PageId NextPage(Rng& rng) const override {
+    return gen_.Next(rng);
+  }
+  double ExactFrequency(PageId page) const override {
+    return exact_freq_[page];
+  }
+
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t pages_;
+  double theta_;
+  ScrambledZipfGenerator gen_;
+  std::vector<double> exact_freq_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_WORKLOAD_ZIPFIAN_WORKLOAD_H_

@@ -1,0 +1,108 @@
+#include "analysis/hotcold_model.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/uniform_model.h"
+
+namespace lss {
+namespace {
+
+// Table 2 of the paper (F = 0.8): MinCost with equal slack split, and
+// the Hot:60% / Hot:40% splits.
+struct Table2Row {
+  double m;       // hot update fraction (90:10 -> 0.9)
+  double min_cost;
+  double hot60;
+  double hot40;
+};
+
+class Table2Test : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2Test, MatchesPaper) {
+  const Table2Row& row = GetParam();
+  // The paper computes Table 2 via its constant-R simplification (§3.2
+  // "we assume that Ri are constant. This is not true, but is a useful
+  // simplification"); we re-solve the fixpoint per sub-space, so values
+  // agree to ~2%, not exactly.
+  EXPECT_NEAR(MinCostEqualSplit(0.8, row.m), row.min_cost,
+              row.min_cost * 0.02)
+      << "m=" << row.m;
+  EXPECT_NEAR(EvaluateHotColdSplit(0.8, row.m, 0.6).cost, row.hot60,
+              row.hot60 * 0.02);
+  EXPECT_NEAR(EvaluateHotColdSplit(0.8, row.m, 0.4).cost, row.hot40,
+              row.hot40 * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable2, Table2Test,
+                         ::testing::Values(Table2Row{0.9, 2.96, 3.06, 2.99},
+                                           Table2Row{0.8, 4.00, 4.12, 4.11},
+                                           Table2Row{0.7, 4.80, 4.90, 4.86},
+                                           Table2Row{0.6, 5.23, 5.38, 5.38},
+                                           Table2Row{0.5, 5.38, 5.46, 5.46}));
+
+TEST(HotColdModelTest, EqualSplitNearOptimal) {
+  // §3.2: for m:1-m distributions g1/g2 = (R2/R1)^(1/2) ~ 1, so the
+  // optimal split is near 0.5 and the equal split is near the minimum.
+  for (double m : {0.6, 0.7, 0.8, 0.9}) {
+    const double g = OptimalHotSlackShare(0.8, m);
+    EXPECT_NEAR(g, 0.5, 0.08) << "m=" << m;
+    const double opt = EvaluateHotColdSplit(0.8, m, g).cost;
+    EXPECT_LE(opt, MinCostEqualSplit(0.8, m) + 1e-9);
+    EXPECT_NEAR(opt, MinCostEqualSplit(0.8, m), 0.02);
+  }
+}
+
+TEST(HotColdModelTest, HotSetGetsLowerFillFactor) {
+  // §3.3: "the hot data having a lower fill factor than the cold data".
+  const HotColdSplit s = EvaluateHotColdSplit(0.8, 0.8, 0.5);
+  EXPECT_LT(s.fill_hot, s.fill_cold);
+  EXPECT_GT(s.emptiness_hot, s.emptiness_cold);
+}
+
+TEST(HotColdModelTest, SkewReducesCost) {
+  // More skew -> separation helps more; costs drop monotonically from
+  // 50:50 toward 90:10 (Table 2 top to bottom).
+  double prev = 0.0;
+  for (double m : {0.9, 0.8, 0.7, 0.6, 0.5001}) {
+    const double c = MinCostEqualSplit(0.8, m);
+    EXPECT_GT(c, prev) << "m=" << m;
+    prev = c;
+  }
+}
+
+TEST(HotColdModelTest, NoSkewMatchesUniformModel) {
+  // 50:50 with equal split leaves both halves at fill 0.8; total cost
+  // equals the uniform-model cost at F = 0.8.
+  const double uniform_cost =
+      CostPerSegment(SolveSteadyStateEmptiness(0.8));
+  EXPECT_NEAR(MinCostEqualSplit(0.8, 0.5001), uniform_cost, 0.02);
+}
+
+TEST(HotColdModelTest, WampConsistentWithCostPerSet) {
+  const HotColdSplit s = EvaluateHotColdSplit(0.8, 0.8, 0.5);
+  const double wamp_from_sets =
+      0.8 * WampFromEmptiness(s.emptiness_hot) +
+      0.2 * WampFromEmptiness(s.emptiness_cold);
+  EXPECT_NEAR(s.wamp, wamp_from_sets, 1e-12);
+  // Wamp = Cost/2 - 1 holds per set and therefore for the mixture.
+  EXPECT_NEAR(s.wamp, s.cost / 2.0 - 1.0, 1e-9);
+}
+
+TEST(HotColdModelTest, OptimalWampForFigure3) {
+  // Figure 3's "opt" line at F=0.8: ~1.0 for 80-20, ~0.48 for 90-10,
+  // ~1.69 for 50-50 (from Table 2 via Wamp = Cost/2 - 1).
+  EXPECT_NEAR(OptimalWamp(0.8, 0.8), 1.00, 0.03);
+  EXPECT_NEAR(OptimalWamp(0.8, 0.9), 0.48, 0.03);
+  EXPECT_NEAR(OptimalWamp(0.8, 0.5001), 1.69, 0.03);
+}
+
+TEST(HotColdModelTest, SlackShareExtremesAreWorse) {
+  for (double m : {0.7, 0.9}) {
+    const double balanced = MinCostEqualSplit(0.8, m);
+    EXPECT_GT(EvaluateHotColdSplit(0.8, m, 0.05).cost, balanced);
+    EXPECT_GT(EvaluateHotColdSplit(0.8, m, 0.95).cost, balanced);
+  }
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,139 @@
+#include "btree/buffer_pool.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lss {
+namespace {
+
+TEST(BufferPoolTest, AllocatePinnedReturnsZeroedPage) {
+  Pager pager;
+  BufferPool pool(&pager, 8);
+  uint8_t* data = nullptr;
+  const PageNo p = pool.AllocatePinned(&data);
+  ASSERT_NE(data, nullptr);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(data[i], 0);
+  pool.Unpin(p, true);
+  pool.FlushAll();
+}
+
+TEST(BufferPoolTest, DirtyPageSurvivesEviction) {
+  Pager pager;
+  BufferPool pool(&pager, 8);
+  uint8_t* data = nullptr;
+  const PageNo p = pool.AllocatePinned(&data);
+  data[0] = 0xAB;
+  pool.Unpin(p, true);
+  // Blow the cache with other pages.
+  for (int i = 0; i < 32; ++i) {
+    uint8_t* d = nullptr;
+    const PageNo q = pool.AllocatePinned(&d);
+    pool.Unpin(q, true);
+  }
+  uint8_t* back = pool.Pin(p);
+  EXPECT_EQ(back[0], 0xAB);
+  pool.Unpin(p, false);
+  EXPECT_GT(pool.evictions(), 0u);
+  pool.FlushAll();
+}
+
+TEST(BufferPoolTest, WriteObserverSeesWriteBacks) {
+  Pager pager;
+  std::vector<PageNo> written;
+  BufferPool pool(&pager, 8, [&](PageNo p) { written.push_back(p); });
+  uint8_t* d = nullptr;
+  const PageNo p = pool.AllocatePinned(&d);
+  d[0] = 1;
+  pool.Unpin(p, true);
+  EXPECT_TRUE(written.empty());  // still cached
+  pool.FlushAll();
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0], p);
+  // A clean page is not written again.
+  pool.FlushAll();
+  EXPECT_EQ(written.size(), 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesDirtyOnly) {
+  Pager pager;
+  std::vector<PageNo> written;
+  BufferPool pool(&pager, 8, [&](PageNo p) { written.push_back(p); });
+  // One dirty page, then fill with clean re-reads of fresh pages.
+  uint8_t* d = nullptr;
+  const PageNo dirty = pool.AllocatePinned(&d);
+  pool.Unpin(dirty, true);
+  std::vector<PageNo> clean_pages;
+  for (int i = 0; i < 20; ++i) clean_pages.push_back(pager.Allocate());
+  for (PageNo p : clean_pages) {
+    pool.Pin(p);
+    pool.Unpin(p, false);
+  }
+  // The dirty page must have been written back exactly once on eviction.
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0], dirty);
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  Pager pager;
+  BufferPool pool(&pager, 8);
+  const PageNo p = pager.Allocate();
+  pool.Pin(p);
+  pool.Unpin(p, false);
+  pool.Pin(p);
+  pool.Unpin(p, false);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPoolTest, LruEvictsColdestPage) {
+  Pager pager;
+  std::vector<PageNo> written;
+  BufferPool pool(&pager, 8, [&](PageNo p) { written.push_back(p); });
+  std::vector<PageNo> pages;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t* d = nullptr;
+    pages.push_back(pool.AllocatePinned(&d));
+    pool.Unpin(pages.back(), true);
+  }
+  // Touch all but pages[0]; the next allocation must evict pages[0].
+  for (int i = 1; i < 8; ++i) {
+    pool.Pin(pages[i]);
+    pool.Unpin(pages[i], false);
+  }
+  uint8_t* d = nullptr;
+  const PageNo q = pool.AllocatePinned(&d);
+  pool.Unpin(q, true);
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0], pages[0]);
+}
+
+TEST(BufferPoolTest, PageRefRaii) {
+  Pager pager;
+  BufferPool pool(&pager, 8);
+  const PageNo p = pager.Allocate();
+  {
+    PageRef ref(&pool, p);
+    ASSERT_TRUE(ref.Valid());
+    ref.data()[0] = 7;
+    ref.MarkDirty();
+  }
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+  pool.FlushAll();
+  EXPECT_EQ(pager.Raw(p)[0], 7);
+}
+
+TEST(BufferPoolTest, PageRefMoveTransfersOwnership) {
+  Pager pager;
+  BufferPool pool(&pager, 8);
+  const PageNo p = pager.Allocate();
+  PageRef a(&pool, p);
+  PageRef b = std::move(a);
+  EXPECT_FALSE(a.Valid());
+  EXPECT_TRUE(b.Valid());
+  b.Release();
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+}
+
+}  // namespace
+}  // namespace lss

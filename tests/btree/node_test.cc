@@ -1,0 +1,177 @@
+#include "btree/node.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lss {
+namespace {
+
+struct NodeFixture : ::testing::Test {
+  NodeFixture() {
+    NodeView::Init(leaf_buf, NodeView::kLeaf);
+    NodeView::Init(internal_buf, NodeView::kInternal);
+  }
+  uint8_t leaf_buf[kBtreePageSize];
+  uint8_t internal_buf[kBtreePageSize];
+};
+
+TEST_F(NodeFixture, InitProducesEmptyConsistentNode) {
+  NodeView leaf(leaf_buf);
+  EXPECT_TRUE(leaf.IsLeaf());
+  EXPECT_EQ(leaf.count(), 0u);
+  EXPECT_EQ(leaf.right_sibling(), kInvalidPageNo);
+  EXPECT_TRUE(leaf.CheckConsistent());
+  NodeView in(internal_buf);
+  EXPECT_FALSE(in.IsLeaf());
+  EXPECT_TRUE(in.CheckConsistent());
+}
+
+TEST_F(NodeFixture, LeafInsertAndLookup) {
+  NodeView n(leaf_buf);
+  n.InsertLeaf(0, "banana", "yellow");
+  n.InsertLeaf(n.LowerBound("apple"), "apple", "red");
+  n.InsertLeaf(n.LowerBound("cherry"), "cherry", "dark");
+  ASSERT_EQ(n.count(), 3u);
+  EXPECT_EQ(n.Key(0), "apple");
+  EXPECT_EQ(n.Key(1), "banana");
+  EXPECT_EQ(n.Key(2), "cherry");
+  EXPECT_EQ(n.Value(1), "yellow");
+  uint16_t slot;
+  EXPECT_TRUE(n.Find("cherry", &slot));
+  EXPECT_EQ(slot, 2u);
+  EXPECT_FALSE(n.Find("durian", &slot));
+  EXPECT_TRUE(n.CheckConsistent());
+}
+
+TEST_F(NodeFixture, LowerBoundSemantics) {
+  NodeView n(leaf_buf);
+  n.InsertLeaf(0, "b", "1");
+  n.InsertLeaf(1, "d", "2");
+  EXPECT_EQ(n.LowerBound("a"), 0u);
+  EXPECT_EQ(n.LowerBound("b"), 0u);
+  EXPECT_EQ(n.LowerBound("c"), 1u);
+  EXPECT_EQ(n.LowerBound("d"), 1u);
+  EXPECT_EQ(n.LowerBound("e"), 2u);
+}
+
+TEST_F(NodeFixture, RemoveCompactsCells) {
+  NodeView n(leaf_buf);
+  n.InsertLeaf(0, "a", "111");
+  n.InsertLeaf(1, "b", "222222");
+  n.InsertLeaf(2, "c", "3");
+  const uint16_t free_before = n.FreeBytes();
+  n.Remove(1);
+  ASSERT_EQ(n.count(), 2u);
+  EXPECT_EQ(n.Key(0), "a");
+  EXPECT_EQ(n.Key(1), "c");
+  EXPECT_EQ(n.Value(0), "111");
+  EXPECT_EQ(n.Value(1), "3");
+  EXPECT_GT(n.FreeBytes(), free_before);
+  EXPECT_TRUE(n.CheckConsistent());
+}
+
+TEST_F(NodeFixture, UpdateValueSameSizeInPlace) {
+  NodeView n(leaf_buf);
+  n.InsertLeaf(0, "k", "aaaa");
+  n.UpdateLeafValue(0, "bbbb");
+  EXPECT_EQ(n.Value(0), "bbbb");
+  EXPECT_TRUE(n.CheckConsistent());
+}
+
+TEST_F(NodeFixture, UpdateValueDifferentSize) {
+  NodeView n(leaf_buf);
+  n.InsertLeaf(0, "a", "short");
+  n.InsertLeaf(1, "b", "x");
+  n.UpdateLeafValue(0, "a-considerably-longer-value");
+  EXPECT_EQ(n.Value(0), "a-considerably-longer-value");
+  EXPECT_EQ(n.Value(1), "x");
+  n.UpdateLeafValue(0, "s");
+  EXPECT_EQ(n.Value(0), "s");
+  EXPECT_TRUE(n.CheckConsistent());
+}
+
+TEST_F(NodeFixture, FillUntilFullThenRoomChecksFail) {
+  NodeView n(leaf_buf);
+  int i = 0;
+  char key[16];
+  const std::string value(100, 'v');
+  for (;; ++i) {
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    if (!n.HasRoomFor(NodeView::LeafCellSize(key, value))) break;
+    n.InsertLeaf(n.LowerBound(key), key, value);
+  }
+  EXPECT_GT(i, 30);  // ~112 bytes per cell in 4 KB
+  EXPECT_TRUE(n.CheckConsistent());
+}
+
+TEST_F(NodeFixture, LeafSplitDistributesAndReturnsSeparator) {
+  NodeView n(leaf_buf);
+  char key[16];
+  for (int i = 0; i < 40; ++i) {
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    n.InsertLeaf(n.count(), key, std::string(50, 'v'));
+  }
+  uint8_t right_buf[kBtreePageSize];
+  NodeView::Init(right_buf, NodeView::kLeaf);
+  NodeView right(right_buf);
+  const std::string sep = n.SplitInto(right);
+  EXPECT_EQ(n.count() + right.count(), 40u);
+  EXPECT_EQ(sep, right.Key(0));
+  EXPECT_LT(n.Key(n.count() - 1), right.Key(0));
+  EXPECT_TRUE(n.CheckConsistent());
+  EXPECT_TRUE(right.CheckConsistent());
+}
+
+TEST_F(NodeFixture, InternalInsertAndRoute) {
+  NodeView n(internal_buf);
+  n.set_leftmost_child(100);
+  n.InsertInternal(0, "m", 200);
+  n.InsertInternal(n.LowerBound("t"), "t", 300);
+  ASSERT_EQ(n.count(), 2u);
+  EXPECT_EQ(n.Child(0), 200u);
+  EXPECT_EQ(n.Child(1), 300u);
+  n.SetChild(0, 201);
+  EXPECT_EQ(n.Child(0), 201u);
+  EXPECT_TRUE(n.CheckConsistent());
+}
+
+TEST_F(NodeFixture, InternalSplitMovesMiddleKeyUp) {
+  NodeView n(internal_buf);
+  n.set_leftmost_child(1);
+  char key[16];
+  for (int i = 0; i < 21; ++i) {
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    n.InsertInternal(n.count(), key, 10 + i);
+  }
+  uint8_t right_buf[kBtreePageSize];
+  NodeView::Init(right_buf, NodeView::kInternal);
+  NodeView right(right_buf);
+  const std::string sep = n.SplitInto(right);
+  // The separator key is in neither node, and the right node's leftmost
+  // child is the separator's old child.
+  EXPECT_EQ(n.count() + right.count(), 20u);
+  uint16_t slot;
+  EXPECT_FALSE(n.Find(sep, &slot));
+  EXPECT_FALSE(right.Find(sep, &slot));
+  EXPECT_NE(right.leftmost_child(), kInvalidPageNo);
+  EXPECT_LT(n.Key(n.count() - 1), sep);
+  EXPECT_LT(sep, right.Key(0));
+  EXPECT_TRUE(n.CheckConsistent());
+  EXPECT_TRUE(right.CheckConsistent());
+}
+
+TEST_F(NodeFixture, BinaryKeysWithEmbeddedZeros) {
+  NodeView n(leaf_buf);
+  const std::string k1("\x00\x01", 2);
+  const std::string k2("\x00\x02", 2);
+  n.InsertLeaf(n.LowerBound(k2), k2, "two");
+  n.InsertLeaf(n.LowerBound(k1), k1, "one");
+  EXPECT_EQ(n.Key(0), k1);
+  EXPECT_EQ(n.Value(0), "one");
+  EXPECT_TRUE(n.CheckConsistent());
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,286 @@
+#include "core/store.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "util/rng.h"
+
+namespace lss {
+namespace {
+
+// Small geometry so cleaning kicks in quickly: 16 segments of 4 pages.
+StoreConfig SmallConfig() {
+  StoreConfig c;
+  c.page_bytes = 4096;
+  c.segment_bytes = 4 * 4096;
+  c.num_segments = 16;
+  c.clean_trigger_segments = 2;
+  c.clean_batch_segments = 4;
+  c.write_buffer_segments = 0;
+  c.separate_user_writes = false;
+  c.separate_gc_writes = false;
+  return c;
+}
+
+std::unique_ptr<LogStructuredStore> MakeStore(const StoreConfig& cfg,
+                                              Variant v = Variant::kGreedy) {
+  Status st;
+  auto store = LogStructuredStore::Create(cfg, MakePolicy(v), &st);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return store;
+}
+
+TEST(StoreCreateTest, RejectsInvalidConfig) {
+  StoreConfig c = SmallConfig();
+  c.num_segments = 1;
+  Status st;
+  EXPECT_EQ(LogStructuredStore::Create(c, MakePolicy(Variant::kAge), &st),
+            nullptr);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(StoreCreateTest, RejectsNullPolicy) {
+  Status st;
+  EXPECT_EQ(LogStructuredStore::Create(SmallConfig(), nullptr, &st), nullptr);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(StoreTest, FreshStoreIsEmpty) {
+  auto store = MakeStore(SmallConfig());
+  EXPECT_EQ(store->FreeSegmentCount(), 16u);
+  EXPECT_EQ(store->LivePageCount(), 0u);
+  EXPECT_EQ(store->unow(), 0u);
+  EXPECT_FALSE(store->Contains(0));
+}
+
+TEST(StoreTest, WriteMakesPagePresent) {
+  auto store = MakeStore(SmallConfig());
+  ASSERT_TRUE(store->Write(5).ok());
+  EXPECT_TRUE(store->Contains(5));
+  EXPECT_EQ(store->PageSize(5), 4096u);
+  EXPECT_EQ(store->unow(), 1u);
+  EXPECT_EQ(store->stats().user_updates, 1u);
+  EXPECT_EQ(store->stats().user_pages_written, 1u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, RewriteKillsOldVersion) {
+  auto store = MakeStore(SmallConfig());
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Write(1).ok());
+  EXPECT_TRUE(store->Contains(1));
+  // Exactly one live copy exists across all segments.
+  uint64_t live = 0;
+  for (const auto& s : store->segments()) live += s.live_count();
+  EXPECT_EQ(live, 1u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, VariablePageSizes) {
+  auto store = MakeStore(SmallConfig());
+  ASSERT_TRUE(store->Write(1, 100).ok());
+  EXPECT_EQ(store->PageSize(1), 100u);
+  ASSERT_TRUE(store->Write(1, 9000).ok());
+  EXPECT_EQ(store->PageSize(1), 9000u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, RejectsPageLargerThanSegment) {
+  auto store = MakeStore(SmallConfig());
+  EXPECT_EQ(store->Write(1, 4 * 4096 + 1).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(StoreTest, DeleteRemovesPage) {
+  auto store = MakeStore(SmallConfig());
+  ASSERT_TRUE(store->Write(3).ok());
+  ASSERT_TRUE(store->Delete(3).ok());
+  EXPECT_FALSE(store->Contains(3));
+  EXPECT_EQ(store->stats().deletes, 1u);
+  EXPECT_EQ(store->Delete(3).code(), Status::Code::kNotFound);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, CleaningReclaimsSpace) {
+  auto store = MakeStore(SmallConfig());
+  // 16 segments * 4 pages = 64 physical pages. Use 32 pages (F = 0.5) and
+  // update them many times: cleaning must kick in and keep the store live.
+  for (PageId p = 0; p < 32; ++p) ASSERT_TRUE(store->Write(p).ok());
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Write(rng.NextBounded(32)).ok());
+  }
+  EXPECT_GT(store->stats().cleanings, 0u);
+  EXPECT_GT(store->stats().gc_pages_written, 0u);
+  EXPECT_EQ(store->LivePageCount(), 32u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, OutOfSpaceWhenFull) {
+  auto store = MakeStore(SmallConfig());
+  // Fill beyond what cleaning can ever reclaim (every physical page live).
+  Status last;
+  PageId p = 0;
+  for (; p < 200; ++p) {
+    last = store->Write(p);
+    if (!last.ok()) break;
+  }
+  EXPECT_EQ(last.code(), Status::Code::kOutOfSpace);
+  // The error is sticky: later writes keep failing rather than corrupting.
+  EXPECT_EQ(store->Write(0).code(), Status::Code::kOutOfSpace);
+}
+
+TEST(StoreTest, RewriteWhileBufferedCountsEachWriteByDefault) {
+  // Paper accounting: every update becomes a physical page write even if
+  // the previous version never left the buffer.
+  StoreConfig c = SmallConfig();
+  c.write_buffer_segments = 2;
+  auto store = MakeStore(c);
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->stats().user_pages_written, 2u);
+  uint64_t live = 0;
+  for (const auto& s : store->segments()) live += s.live_count();
+  EXPECT_EQ(live, 1u);  // only one live version
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, BufferedWritesAreAbsorbed) {
+  StoreConfig c = SmallConfig();
+  c.write_buffer_segments = 2;
+  c.absorb_buffered_rewrites = true;
+  auto store = MakeStore(c);
+  // Two writes to the same page while it fits in the buffer: only one
+  // physical page write should result.
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Write(1).ok());
+  EXPECT_EQ(store->stats().user_updates, 2u);
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->stats().user_pages_written, 1u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, FlushDrainsBuffer) {
+  StoreConfig c = SmallConfig();
+  c.write_buffer_segments = 4;
+  auto store = MakeStore(c);
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Write(2).ok());
+  EXPECT_EQ(store->stats().user_pages_written, 0u);  // still buffered
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->stats().user_pages_written, 2u);
+  EXPECT_FALSE(store->page_table().Get(1).loc.InBuffer());
+}
+
+TEST(StoreTest, DeleteWhileBuffered) {
+  StoreConfig c = SmallConfig();
+  c.write_buffer_segments = 4;
+  auto store = MakeStore(c);
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Delete(1).ok());
+  EXPECT_FALSE(store->Contains(1));
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->stats().user_pages_written, 0u);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+TEST(StoreTest, EstimateUpfUsesLastUpdateInterval) {
+  auto store = MakeStore(SmallConfig());
+  ASSERT_TRUE(store->Write(1).ok());  // unow = 1
+  ASSERT_TRUE(store->Write(2).ok());
+  ASSERT_TRUE(store->Write(3).ok());
+  ASSERT_TRUE(store->Write(4).ok());  // unow = 4
+  EXPECT_DOUBLE_EQ(store->EstimateUpf(1), 1.0 / 3.0);
+  EXPECT_EQ(store->EstimateUpf(99), 0.0);
+}
+
+TEST(StoreTest, OracleOverridesEstimate) {
+  auto store = MakeStore(SmallConfig());
+  store->SetExactFrequencyOracle([](PageId p) { return p == 1 ? 4.0 : 0.5; });
+  EXPECT_TRUE(store->HasOracle());
+  EXPECT_DOUBLE_EQ(store->EstimateUpf(1), 4.0);
+  EXPECT_DOUBLE_EQ(store->EstimateUpf(2), 0.5);
+}
+
+TEST(StoreTest, FillFactorTracksLiveBytes) {
+  auto store = MakeStore(SmallConfig());
+  for (PageId p = 0; p < 32; ++p) ASSERT_TRUE(store->Write(p).ok());
+  EXPECT_NEAR(store->CurrentFillFactor(), 0.5, 0.01);
+}
+
+TEST(StoreTest, WampZeroWithoutCleaning) {
+  auto store = MakeStore(SmallConfig());
+  for (PageId p = 0; p < 8; ++p) ASSERT_TRUE(store->Write(p).ok());
+  EXPECT_EQ(store->stats().WriteAmplification(), 0.0);
+}
+
+// Long-running churn across many policies must preserve all invariants.
+class StoreChurnTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(StoreChurnTest, InvariantsHoldUnderChurn) {
+  StoreConfig c = SmallConfig();
+  c.num_segments = 32;
+  ApplyVariantConfig(GetParam(), &c);
+  auto store = MakeStore(c, GetParam());
+  if (VariantNeedsOracle(GetParam())) {
+    store->SetExactFrequencyOracle([](PageId) { return 1.0; });
+  }
+  constexpr PageId kPages = 64;  // F = 0.5 of 128 physical pages
+  for (PageId p = 0; p < kPages; ++p) ASSERT_TRUE(store->Write(p).ok());
+  Rng rng(GetParam() == Variant::kAge ? 1 : 2);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(store->Write(rng.NextBounded(kPages)).ok()) << "i=" << i;
+    if (i % 500 == 0) {
+      ASSERT_TRUE(store->CheckInvariants().ok()) << "i=" << i;
+    }
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->LivePageCount(), kPages);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  EXPECT_GT(store->stats().cleanings, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, StoreChurnTest, ::testing::ValuesIn(AllVariants()),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string n = VariantName(info.param);
+      for (char& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+// Mixed insert/update/delete churn with variable sizes.
+TEST(StoreTest, MixedWorkloadWithDeletesAndVariableSizes) {
+  StoreConfig c = SmallConfig();
+  c.num_segments = 32;
+  c.write_buffer_segments = 2;
+  auto store = MakeStore(c, Variant::kMdc);
+  Rng rng(7);
+  std::vector<bool> present(64, false);
+  size_t live = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const PageId p = rng.NextBounded(64);
+    if (present[p] && rng.NextBool(0.2)) {
+      ASSERT_TRUE(store->Delete(p).ok());
+      present[p] = false;
+      --live;
+    } else {
+      const uint32_t bytes = 64 + static_cast<uint32_t>(rng.NextBounded(8000));
+      ASSERT_TRUE(store->Write(p, bytes).ok());
+      if (!present[p]) {
+        present[p] = true;
+        ++live;
+      }
+    }
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->LivePageCount(), live);
+  EXPECT_TRUE(store->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,120 @@
+// Integration tests pinning the paper's headline experimental *shapes*
+// (who wins, by roughly what factor) at test scale, so a regression in
+// any layer — policies, store machinery, workloads, analysis — that
+// breaks a reproduced result fails CI, not just the bench output.
+
+#include <gtest/gtest.h>
+
+#include "analysis/hotcold_model.h"
+#include "analysis/uniform_model.h"
+#include "workload/runner.h"
+#include "workload/zipfian_workload.h"
+
+namespace lss {
+namespace {
+
+StoreConfig ShapeConfig() {
+  StoreConfig c;
+  c.page_bytes = 4096;
+  c.segment_bytes = 128 * 4096;
+  c.num_segments = 256;
+  c.clean_trigger_segments = 4;
+  c.clean_batch_segments = 16;
+  c.write_buffer_segments = 8;
+  return c;
+}
+
+double Wamp(Variant v, const WorkloadGenerator& w, double f,
+            double warm = 6, double measure = 8) {
+  RunSpec spec;
+  spec.fill_factor = f;
+  spec.warmup_multiplier = warm;
+  spec.measure_multiplier = measure;
+  const RunResult r = RunSynthetic(ShapeConfig(), v, w, spec);
+  EXPECT_TRUE(r.status.ok()) << VariantName(v) << ": "
+                             << r.status.ToString();
+  return r.wamp;
+}
+
+// Figure 5a: under uniform updates age, greedy and MDC-opt are all close
+// to the analytic fixpoint.
+TEST(PaperShapes, UniformEveryoneNearAnalytic) {
+  const StoreConfig cfg = ShapeConfig();
+  UniformWorkload w(cfg.UserPagesForFillFactor(0.8));
+  const double analytic = WampFromEmptiness(SolveSteadyStateEmptiness(0.8));
+  for (Variant v : {Variant::kAge, Variant::kGreedy, Variant::kMdcOpt}) {
+    const double wamp = Wamp(v, w, 0.8);
+    EXPECT_NEAR(wamp, analytic, analytic * 0.30) << VariantName(v);
+  }
+}
+
+// Figure 3 at 80-20: greedy > MDC > MDC-opt, and MDC-opt within reach of
+// the analytic optimum.
+TEST(PaperShapes, HotColdBreakdownOrdering) {
+  const StoreConfig cfg = ShapeConfig();
+  HotColdWorkload w(cfg.UserPagesForFillFactor(0.8), 0.8);
+  const double greedy = Wamp(Variant::kGreedy, w, 0.8);
+  const double no_sep = Wamp(Variant::kMdcNoSepUserGc, w, 0.8);
+  const double mdc = Wamp(Variant::kMdc, w, 0.8);
+  const double mdc_opt = Wamp(Variant::kMdcOpt, w, 0.8);
+  EXPECT_LT(no_sep, greedy);
+  EXPECT_LT(mdc, no_sep);
+  EXPECT_LT(mdc_opt, mdc * 1.05);
+  EXPECT_NEAR(mdc_opt, OptimalWamp(0.8, 0.8), OptimalWamp(0.8, 0.8) * 0.35);
+}
+
+// Figure 5b at F=0.8: the full ordering age > greedy > cost-benefit >
+// MDC > MDC-opt under Zipf 0.99.
+TEST(PaperShapes, ZipfianPolicyOrdering) {
+  const StoreConfig cfg = ShapeConfig();
+  ZipfianWorkload w(cfg.UserPagesForFillFactor(0.8), 0.99);
+  const double age = Wamp(Variant::kAge, w, 0.8);
+  const double greedy = Wamp(Variant::kGreedy, w, 0.8);
+  const double cb = Wamp(Variant::kCostBenefit, w, 0.8);
+  const double mdc = Wamp(Variant::kMdc, w, 0.8);
+  const double mdc_opt = Wamp(Variant::kMdcOpt, w, 0.8);
+  EXPECT_GT(age, greedy);
+  EXPECT_GT(greedy, cb);
+  EXPECT_GT(cb, mdc);
+  EXPECT_GT(mdc, mdc_opt);
+  // The age-vs-MDC gap is large (paper: ~3x-5x at 0.8).
+  EXPECT_GT(age / mdc, 2.0);
+}
+
+// Figure 4: sorting user writes matters — a 16-segment sort buffer beats
+// no buffer clearly under Zipf.
+TEST(PaperShapes, SortBufferReducesWamp) {
+  StoreConfig cfg = ShapeConfig();
+  ZipfianWorkload w(cfg.UserPagesForFillFactor(0.8), 0.99);
+  RunSpec spec;
+  spec.fill_factor = 0.8;
+  spec.warmup_multiplier = 6;
+  spec.measure_multiplier = 8;
+  cfg.write_buffer_segments = 1;
+  const RunResult small = RunSynthetic(cfg, Variant::kMdc, w, spec);
+  cfg.write_buffer_segments = 16;
+  const RunResult big = RunSynthetic(cfg, Variant::kMdc, w, spec);
+  ASSERT_TRUE(small.status.ok());
+  ASSERT_TRUE(big.status.ok());
+  EXPECT_LT(big.wamp, small.wamp * 0.85);
+}
+
+// Table 1 spot check: MDC-opt's measured clean-time emptiness tracks the
+// analytic fixpoint at F = 0.8 (the §8.1 analysis/simulation agreement).
+TEST(PaperShapes, AnalysisSimulationAgreement) {
+  StoreConfig cfg = ShapeConfig();
+  cfg.num_segments = 512;
+  cfg.clean_trigger_segments = 2;
+  cfg.clean_batch_segments = 8;
+  UniformWorkload w(cfg.UserPagesForFillFactor(0.8));
+  RunSpec spec;
+  spec.fill_factor = 0.8;
+  spec.warmup_multiplier = 8;
+  spec.measure_multiplier = 10;
+  const RunResult r = RunSynthetic(cfg, Variant::kMdcOpt, w, spec);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NEAR(r.mean_clean_emptiness, SolveSteadyStateEmptiness(0.8), 0.025);
+}
+
+}  // namespace
+}  // namespace lss

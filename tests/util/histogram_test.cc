@@ -1,0 +1,70 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace lss {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(0, 1, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MeanMinMax) {
+  Histogram h(0, 10, 10);
+  h.Add(1);
+  h.Add(2);
+  h.Add(9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClamp) {
+  Histogram h(0, 1, 4);
+  h.Add(-5);
+  h.Add(7);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(HistogramTest, QuantilesOrdered) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 2.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h(0, 1, 10);
+  h.Add(0.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a(0, 10, 10), b(0, 10, 10);
+  a.Add(1);
+  b.Add(9);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h(0, 1, 10);
+  h.Add(0.25);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lss

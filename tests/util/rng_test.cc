@@ -1,0 +1,102 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lss {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+}
+
+TEST(SplitMix64Test, ScattersNearbyInputs) {
+  // Consecutive inputs should produce well-separated outputs; check that
+  // the low bits don't simply count up.
+  std::set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 64; ++i) low_bits.insert(SplitMix64(i) & 0xff);
+  EXPECT_GT(low_bits.size(), 48u);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) differing += (a() != b());
+  EXPECT_GT(differing, 95);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.Seed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[i]);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(99);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBound)]++;
+  // Each bucket expects 10000; allow 5% deviation (>> 3 sigma ~ 285).
+  for (uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBound, kDraws / kBound * 0.05)
+        << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(17);
+  int trues = 0;
+  for (int i = 0; i < 100000; ++i) trues += rng.NextBool(0.3);
+  EXPECT_NEAR(trues / 100000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,78 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lss {
+namespace {
+
+std::string Render(const TablePrinter& t, bool csv = false) {
+  char* buf = nullptr;
+  size_t size = 0;
+  std::FILE* f = open_memstream(&buf, &size);
+  if (csv) {
+    t.PrintCsv(f);
+  } else {
+    t.Print(f);
+  }
+  std::fclose(f);
+  std::string out(buf, size);
+  free(buf);
+  return out;
+}
+
+TEST(TablePrinterTest, PrintsHeadersAndRows) {
+  TablePrinter t({"F", "E"});
+  t.AddRow({TablePrinter::Cell(0.8, 2), TablePrinter::Cell(0.375, 3)});
+  const std::string out = Render(t);
+  EXPECT_NE(out.find("F"), std::string::npos);
+  EXPECT_NE(out.find("0.80"), std::string::npos);
+  EXPECT_NE(out.find("0.375"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatsIntegers) {
+  EXPECT_EQ(TablePrinter::Cell(uint64_t{12345}).text, "12345");
+  EXPECT_EQ(TablePrinter::Cell(-3).text, "-3");
+}
+
+TEST(TablePrinterTest, CellFormatsDoublesWithPrecision) {
+  EXPECT_EQ(TablePrinter::Cell(1.23456, 2).text, "1.23");
+  EXPECT_EQ(TablePrinter::Cell(1.23456, 4).text, "1.2346");
+}
+
+TEST(TablePrinterTest, CsvOutputIsCommaSeparated) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({TablePrinter::Cell("x"), TablePrinter::Cell("y")});
+  EXPECT_EQ(Render(t, /*csv=*/true), "a,b\nx,y\n");
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({TablePrinter::Cell("short"), TablePrinter::Cell(1)});
+  t.AddRow({TablePrinter::Cell("a-much-longer-name"), TablePrinter::Cell(2)});
+  const std::string out = Render(t);
+  // Every line should be equally wide (header, rule, rows).
+  size_t pos = 0, prev_len = std::string::npos;
+  while (pos < out.size()) {
+    const size_t nl = out.find('\n', pos);
+    const size_t len = nl - pos;
+    if (prev_len != std::string::npos) {
+      EXPECT_EQ(len, prev_len);
+    }
+    prev_len = len;
+    pos = nl + 1;
+  }
+}
+
+TEST(TablePrinterTest, NumRowsCounts) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.NumRows(), 0u);
+  t.AddRow({TablePrinter::Cell(1)});
+  t.AddRow({TablePrinter::Cell(2)});
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace lss

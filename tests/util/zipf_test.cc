@@ -1,0 +1,126 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lss {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double theta : {0.5, 0.99, 1.35}) {
+    ZipfGenerator z(1000, theta);
+    double sum = 0;
+    for (uint64_t r = 0; r < 1000; ++r) sum += z.Pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, PmfIsDecreasingInRank) {
+  ZipfGenerator z(100, 0.99);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_LT(z.Pmf(r), z.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfGenerator a(1000, 0.99), b(1000, 1.35);
+  EXPECT_LT(a.Pmf(0), b.Pmf(0));
+}
+
+TEST(ZipfTest, SamplesMatchSampleMassExactly) {
+  constexpr uint64_t kN = 100;
+  constexpr int kDraws = 200000;
+  ZipfGenerator z(kN, 0.99);
+  Rng rng(77);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) counts[z.Next(rng)]++;
+  // SampleMass is the exact distribution of the generator; only sampling
+  // noise remains (~4 sigma bounds).
+  for (uint64_t r = 0; r < 20; ++r) {
+    const double p = z.SampleMass(r);
+    const double expected = p * kDraws;
+    const double sigma = std::sqrt(p * (1 - p) * kDraws);
+    EXPECT_NEAR(counts[r], expected, 4 * sigma + 5) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SampleMassSumsToOne) {
+  for (double theta : {0.5, 0.99, 1.35}) {
+    ZipfGenerator z(500, theta);
+    double sum = 0;
+    for (uint64_t r = 0; r < 500; ++r) sum += z.SampleMass(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, SampleMassApproximatesPmf) {
+  // The generator approximates the ideal Zipf pmf; mass should be within
+  // a few tens of percent rank-by-rank and have the same head-heaviness.
+  ZipfGenerator z(1000, 0.99);
+  for (uint64_t r : {0ull, 1ull, 5ull, 50ull, 500ull}) {
+    EXPECT_NEAR(z.SampleMass(r), z.Pmf(r), z.Pmf(r) * 0.4) << "rank " << r;
+  }
+  EXPECT_GT(z.SampleMass(0), z.SampleMass(10));
+}
+
+TEST(ZipfTest, RanksAlwaysInRange) {
+  ZipfGenerator z(17, 1.35);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Next(rng), 17u);
+  }
+}
+
+// The "80-20" label: with theta=0.99 a sizable minority of items should
+// attract the bulk of the mass. Validate the qualitative skew level used
+// in the paper (~80% of updates to ~20% of pages for theta near 1).
+TEST(ZipfTest, ThetaNearOneConcentratesMass) {
+  constexpr uint64_t kN = 10000;
+  ZipfGenerator z(kN, 0.99);
+  double mass = 0;
+  for (uint64_t r = 0; r < kN / 5; ++r) mass += z.Pmf(r);
+  EXPECT_GT(mass, 0.7);
+  EXPECT_LT(mass, 0.95);
+}
+
+TEST(ScrambledZipfTest, ScatterIsDeterministicAndInRange) {
+  ScrambledZipfGenerator z(1000, 0.99);
+  for (uint64_t r = 0; r < 1000; ++r) {
+    const uint64_t item = z.Scatter(r);
+    EXPECT_LT(item, 1000u);
+    EXPECT_EQ(item, z.Scatter(r));
+  }
+}
+
+TEST(ScrambledZipfTest, HotItemsAreSpreadOut) {
+  // The 10 hottest ranks should not land in one small id neighbourhood.
+  constexpr uint64_t kN = 100000;
+  ScrambledZipfGenerator z(kN, 0.99);
+  uint64_t min_id = kN, max_id = 0;
+  for (uint64_t r = 0; r < 10; ++r) {
+    const uint64_t id = z.Scatter(r);
+    min_id = std::min(min_id, id);
+    max_id = std::max(max_id, id);
+  }
+  EXPECT_GT(max_id - min_id, kN / 10);
+}
+
+TEST(ScrambledZipfTest, NextSamplesScatteredItems) {
+  ScrambledZipfGenerator z(1000, 1.35);
+  Rng rng(9);
+  const uint64_t hottest = z.Scatter(0);
+  int hot_count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t item = z.Next(rng);
+    ASSERT_LT(item, 1000u);
+    hot_count += (item == hottest);
+  }
+  // theta=1.35, n=1000: rank 0 has ~35% of the mass.
+  EXPECT_GT(hot_count, 2000);
+}
+
+}  // namespace
+}  // namespace lss

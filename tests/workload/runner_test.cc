@@ -1,0 +1,172 @@
+#include "workload/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/uniform_model.h"
+#include "workload/zipfian_workload.h"
+
+namespace lss {
+namespace {
+
+// Small but realistic geometry: 64 segments of 64 pages = 4096 physical
+// pages. Runs in milliseconds yet exhibits steady-state cleaning.
+StoreConfig TestConfig() {
+  StoreConfig c;
+  c.page_bytes = 4096;
+  c.segment_bytes = 64 * 4096;
+  c.num_segments = 64;
+  c.clean_trigger_segments = 4;
+  c.clean_batch_segments = 8;
+  c.write_buffer_segments = 4;
+  return c;
+}
+
+TEST(ScaleConfigTest, HitsRequestedFillFactor) {
+  StoreConfig base = TestConfig();
+  const StoreConfig c = ScaleConfigForFill(base, 2048, 0.5);
+  EXPECT_EQ(c.num_segments, 64u);
+  EXPECT_NEAR(static_cast<double>(2048) / c.PhysicalPages(), 0.5, 0.02);
+}
+
+TEST(ScaleConfigTest, EnforcesMinimumDevice) {
+  const StoreConfig c = ScaleConfigForFill(TestConfig(), 10, 0.9);
+  EXPECT_GE(c.num_segments, 8u);
+}
+
+TEST(RunnerTest, FailsWhenDeviceTooSmall) {
+  UniformWorkload w(100000);
+  RunSpec spec;
+  spec.fill_factor = 0.8;
+  const RunResult r = RunSynthetic(TestConfig(), Variant::kGreedy, w, spec);
+  EXPECT_FALSE(r.status.ok());
+}
+
+TEST(RunnerTest, UniformGreedyApproachesAnalyticModel) {
+  // Greedy is optimal under uniform updates; its measured Wamp should be
+  // near the fixpoint model (Table 1). The free-pool reserve (trigger +
+  // in-flight batch + open segments) is unusable slack, so the analytic
+  // comparison point is the *effective* fill factor — benches at paper
+  // scale make the reserve negligible, this test accounts for it instead.
+  StoreConfig base = TestConfig();
+  base.num_segments = 256;
+  base.clean_trigger_segments = 2;
+  base.clean_batch_segments = 4;
+  const uint64_t user_pages = base.UserPagesForFillFactor(0.8);
+  UniformWorkload w(user_pages);
+  RunSpec spec;
+  spec.fill_factor = 0.8;
+  spec.warmup_multiplier = 6;
+  spec.measure_multiplier = 10;
+  const RunResult r = RunSynthetic(base, Variant::kGreedy, w, spec);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  const double reserve_segments = 2 + 4 + 2;  // trigger + batch + opens
+  const double f_eff = static_cast<double>(user_pages) /
+                       (static_cast<double>(base.PhysicalPages()) -
+                        reserve_segments * base.PagesPerSegment());
+  const double analytic = WampFromEmptiness(SolveSteadyStateEmptiness(f_eff));
+  EXPECT_NEAR(r.wamp, analytic, analytic * 0.2) << "analytic=" << analytic;
+  EXPECT_EQ(r.variant, "greedy");
+  EXPECT_GT(r.measured_updates, 0u);
+}
+
+TEST(RunnerTest, SkewHelpsMdcBeatGreedy) {
+  // The paper's core claim in miniature (Figure 3): under a skewed
+  // hot-cold workload MDC-opt beats greedy.
+  const StoreConfig base = TestConfig();
+  const uint64_t user_pages = base.UserPagesForFillFactor(0.8);
+  HotColdWorkload w(user_pages, 0.9);
+  RunSpec spec;
+  spec.fill_factor = 0.8;
+  spec.warmup_multiplier = 8;
+  spec.measure_multiplier = 10;
+  const RunResult greedy = RunSynthetic(base, Variant::kGreedy, w, spec);
+  const RunResult mdc = RunSynthetic(base, Variant::kMdcOpt, w, spec);
+  ASSERT_TRUE(greedy.status.ok());
+  ASSERT_TRUE(mdc.status.ok());
+  EXPECT_LT(mdc.wamp, greedy.wamp);
+}
+
+TEST(RunnerTest, ResultsAreReproducibleAcrossRuns) {
+  const StoreConfig base = TestConfig();
+  const uint64_t user_pages = base.UserPagesForFillFactor(0.6);
+  UniformWorkload w(user_pages);
+  RunSpec spec;
+  spec.fill_factor = 0.6;
+  spec.warmup_multiplier = 2;
+  spec.measure_multiplier = 3;
+  spec.seed = 99;
+  const RunResult a = RunSynthetic(base, Variant::kMdc, w, spec);
+  const RunResult b = RunSynthetic(base, Variant::kMdc, w, spec);
+  ASSERT_TRUE(a.status.ok());
+  EXPECT_DOUBLE_EQ(a.wamp, b.wamp);
+}
+
+TEST(RunnerTest, TraceReplayMeasuresSuffixOnly) {
+  // A trace whose prefix inserts pages and whose suffix rewrites one page
+  // repeatedly. Measurement starts at the suffix.
+  const StoreConfig base = TestConfig();
+  Trace t;
+  const uint64_t user_pages = base.UserPagesForFillFactor(0.5);
+  for (PageId p = 0; p < user_pages; ++p) t.AppendWrite(p);
+  const size_t measure_from = t.Size();
+  for (int i = 0; i < 5000; ++i) t.AppendWrite(i % 64);
+  const RunResult r = RunTrace(base, Variant::kGreedy, t, measure_from);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.measured_updates, 5000u);
+}
+
+TEST(RunnerTest, TraceReplayWithOracleVariant) {
+  const StoreConfig base = TestConfig();
+  Trace t;
+  const uint64_t user_pages = base.UserPagesForFillFactor(0.5);
+  for (PageId p = 0; p < user_pages; ++p) t.AppendWrite(p);
+  const size_t measure_from = t.Size();
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    t.AppendWrite(rng.NextBounded(user_pages));
+  }
+  const RunResult r = RunTrace(base, Variant::kMdcOpt, t, measure_from);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_GT(r.wamp, 0.0);
+}
+
+TEST(RunnerTest, TraceReplayHandlesDeletes) {
+  const StoreConfig base = TestConfig();
+  Trace t;
+  for (PageId p = 0; p < 100; ++p) t.AppendWrite(p);
+  for (PageId p = 0; p < 50; ++p) t.AppendDelete(p);
+  // Deleting an absent page must not abort the replay.
+  t.AppendDelete(9999);
+  const RunResult r = RunTrace(base, Variant::kAge, t, 0);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+}
+
+// Every variant must survive a short skewed run at moderate fill.
+class RunnerVariantTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(RunnerVariantTest, ShortRunSucceeds) {
+  const StoreConfig base = TestConfig();
+  const uint64_t user_pages = base.UserPagesForFillFactor(0.7);
+  HotColdWorkload w(user_pages, 0.8);
+  RunSpec spec;
+  spec.fill_factor = 0.7;
+  spec.warmup_multiplier = 2;
+  spec.measure_multiplier = 3;
+  const RunResult r = RunSynthetic(base, GetParam(), w, spec);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_GT(r.wamp, 0.0);
+  EXPECT_NEAR(r.effective_fill, 0.7, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, RunnerVariantTest, ::testing::ValuesIn(AllVariants()),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string n = VariantName(info.param);
+      for (char& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,102 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lss {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceTest, AppendAndInspect) {
+  Trace t;
+  EXPECT_TRUE(t.Empty());
+  t.AppendWrite(3, 4096);
+  t.AppendWrite(1);
+  t.AppendDelete(3);
+  EXPECT_EQ(t.Size(), 3u);
+  EXPECT_EQ(t.records()[0].op, TraceRecord::Op::kWrite);
+  EXPECT_EQ(t.records()[0].bytes, 4096u);
+  EXPECT_EQ(t.records()[2].op, TraceRecord::Op::kDelete);
+  EXPECT_EQ(t.MaxPageId(), 4u);
+}
+
+TEST(TraceTest, MaxPageIdOfEmptyTrace) {
+  Trace t;
+  EXPECT_EQ(t.MaxPageId(), 0u);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  Trace t;
+  for (PageId p = 0; p < 100; ++p) t.AppendWrite(p % 7, 4096);
+  t.AppendDelete(3);
+  const std::string path = TempPath("trace_roundtrip.bin");
+  ASSERT_TRUE(t.SaveTo(path));
+
+  Trace loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path));
+  ASSERT_EQ(loaded.Size(), t.Size());
+  for (size_t i = 0; i < t.Size(); ++i) {
+    EXPECT_EQ(loaded.records()[i].op, t.records()[i].op);
+    EXPECT_EQ(loaded.records()[i].page, t.records()[i].page);
+    EXPECT_EQ(loaded.records()[i].bytes, t.records()[i].bytes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("trace_garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  Trace t;
+  EXPECT_FALSE(t.LoadFrom(path));
+  EXPECT_TRUE(t.Empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsMissingFile) {
+  Trace t;
+  EXPECT_FALSE(t.LoadFrom(TempPath("does_not_exist.bin")));
+}
+
+TEST(TraceTest, ExactFrequenciesNormalised) {
+  Trace t;
+  // Page 0 written 6 times, page 1 written 2 times: mean over touched
+  // pages must be 1, ratios preserved.
+  for (int i = 0; i < 6; ++i) t.AppendWrite(0);
+  for (int i = 0; i < 2; ++i) t.AppendWrite(1);
+  auto freq = t.ComputeExactFrequencies(0, t.Size());
+  ASSERT_EQ(freq.size(), 2u);
+  EXPECT_NEAR((freq[0] + freq[1]) / 2.0, 1.0, 1e-9);
+  EXPECT_NEAR(freq[0] / freq[1], 3.0, 1e-9);
+}
+
+TEST(TraceTest, ExactFrequenciesWindowed) {
+  Trace t;
+  t.AppendWrite(0);  // outside the window
+  t.AppendWrite(1);
+  t.AppendWrite(1);
+  auto freq = t.ComputeExactFrequencies(1, t.Size());
+  // Page 0 does not appear in the window but must still get a positive
+  // (small) frequency so oracles never return zero for replayed pages.
+  EXPECT_GT(freq[0], 0.0);
+  EXPECT_LT(freq[0], freq[1]);
+}
+
+TEST(TraceTest, DeletesIgnoredInFrequencies) {
+  Trace t;
+  t.AppendWrite(0);
+  t.AppendDelete(0);
+  t.AppendDelete(0);
+  auto freq = t.ComputeExactFrequencies(0, t.Size());
+  EXPECT_NEAR(freq[0], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lss
