@@ -7,7 +7,7 @@
 // exactly how cost-benefit behaves in the paper's Figure 5a — while the
 // canonical formula is near age/greedy. Under skew both are mid-field.
 // This bench quantifies the difference and justifies the design note in
-// DESIGN.md.
+// docs/POLICIES.md.
 
 #include <cstdio>
 #include <memory>

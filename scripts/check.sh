@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify: configure, build everything (library, tests,
+# benches, examples) with warnings-as-errors, then run the full test suite.
+# This mirrors .github/workflows/ci.yml exactly; if this passes locally,
+# CI should be green.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "check.sh: all green"

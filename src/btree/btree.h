@@ -18,11 +18,11 @@ namespace lss {
 /// range scans. This is the storage engine under the TPC-C workload whose
 /// page-write trace drives the paper's §6.3 experiment.
 ///
-/// Scope notes (documented simplifications, see DESIGN.md): single
-/// threaded; deletes do not rebalance (underfull leaves persist, as in
-/// lazy-deletion engines); the record count is maintained in memory, not
-/// persisted. Key+value payload is limited to NodeView::kMaxPayload bytes
-/// so splits always succeed.
+/// Scope notes (documented simplifications, see docs/ARCHITECTURE.md):
+/// single threaded; deletes do not rebalance (underfull leaves persist,
+/// as in lazy-deletion engines); the record count is maintained in
+/// memory, not persisted. Key+value payload is limited to
+/// NodeView::kMaxPayload bytes so splits always succeed.
 class BTree {
  public:
   /// Creates an empty tree whose pages are allocated from `pool`.

@@ -26,7 +26,8 @@ namespace lss {
 /// greedy under uniform updates, where the canonical formula is near-
 /// optimal. We default to the canonical LFS form and offer the paper's
 /// literal formula (with an E floor so fully-live segments are not
-/// infinitely attractive) for reproducing their figure; see DESIGN.md.
+/// infinitely attractive) for reproducing their figure; see
+/// docs/POLICIES.md and bench/ablation_costbenefit.cc.
 class CostBenefitPolicy : public CleaningPolicy {
  public:
   enum class Formula {

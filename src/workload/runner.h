@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/config.h"
 #include "core/policy_factory.h"
