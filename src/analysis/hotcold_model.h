@@ -6,7 +6,9 @@ namespace lss {
 /// Analytic model for managing hot and cold data separately (paper §3,
 /// Table 2). A hot-cold distribution "m : 1-m" sends a fraction m of
 /// updates to a fraction 1-m of the data (80:20 means 80% of updates hit
-/// 20% of the pages).
+/// 20% of the pages). Produces the Table 2 reference columns
+/// (bench/table2_hotcold.cc) and the "opt" line of Figure 3
+/// (bench/fig3_breakdown.cc) that MDC-opt is judged against.
 ///
 /// Total space is divided so the hot set gets data D1 = F*(1-m) plus a
 /// share g1 of the slack (1-F), giving it fill factor

@@ -5,7 +5,10 @@
 
 namespace lss {
 
-/// Closed-form cleaning-cost algebra (paper §2.1).
+/// Closed-form cleaning-cost algebra (paper §2.1). These are the analytic
+/// reference columns of Table 1 (bench/table1_uniform.cc); the simulator
+/// agreeing with them under uniform updates is the paper's §8.1
+/// validation, asserted by tests/integration/paper_shapes_test.cc.
 ///
 /// Writing a segment of new data requires reading 1/E segments, rewriting
 /// their live fraction, and writing the new segment:

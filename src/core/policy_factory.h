@@ -14,7 +14,8 @@ namespace lss {
 /// the Figure 3 ablations). Each variant is a (policy, store-config
 /// adjustments) pair: e.g. the MDC ablations share MdcPolicy but toggle
 /// the write-sorting flags, and multi-log disables the sort buffer
-/// because its separation mechanism is the logs themselves.
+/// because its separation mechanism is the logs themselves. The full
+/// variant -> (policy, config flags) matrix is in docs/POLICIES.md.
 enum class Variant {
   kAge,
   kGreedy,
