@@ -13,7 +13,10 @@
 // multi-log no better than cost-benefit; MDC below them; multi-log-opt /
 // MDC-opt lowest, MDC-opt below multi-log-opt.
 
+#include <cinttypes>
+#include <unistd.h>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -24,20 +27,123 @@
 namespace lss {
 namespace {
 
+// Trace generation dominates this bench's runtime, so the generated
+// trace is cached in the system temp directory, keyed by every parameter
+// that shapes it. Re-runs (e.g. sweeping simulator-side settings) load
+// the cache in milliseconds; set LSS_BENCH_NO_CACHE=1 to force
+// regeneration.
+struct CachedTrace {
+  tpcc::TpccTraceResult gen;
+  bool from_cache = false;
+};
+
+std::string TraceCachePath(const tpcc::TpccConfig& tc, uint64_t warm_txns,
+                           uint64_t measure_txns, uint64_t checkpoint_every) {
+  // FNV-1a over the generation parameters: any change keys a new file.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(tc.warehouses);
+  mix(tc.districts_per_warehouse);
+  mix(tc.customers_per_district);
+  mix(tc.items);
+  mix(tc.orders_per_district);
+  mix(tc.buffer_pool_pages);
+  mix(tc.seed);
+  mix(warm_txns);
+  mix(measure_txns);
+  mix(checkpoint_every);
+  const char* tmp = std::getenv("TMPDIR");
+  if (tmp == nullptr || *tmp == '\0') tmp = "/tmp";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/lss_fig6_trace_%016" PRIx64, h);
+  return std::string(tmp) + buf;
+}
+
+// The trace's binary file holds only the records; the run metadata rides
+// in a tiny sidecar so a cache hit restores the full TpccTraceResult.
+bool SaveMeta(const std::string& path, const tpcc::TpccTraceResult& gen) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%zu %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+               gen.measure_from, gen.pages_after_load, gen.pages_final,
+               gen.transactions);
+  std::fclose(f);
+  return true;
+}
+
+bool LoadMeta(const std::string& path, tpcc::TpccTraceResult* gen) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  size_t measure_from = 0;
+  uint64_t after_load = 0, final_pages = 0, txns = 0;
+  const int n = std::fscanf(f, "%zu %" SCNu64 " %" SCNu64 " %" SCNu64,
+                            &measure_from, &after_load, &final_pages, &txns);
+  std::fclose(f);
+  if (n != 4) return false;
+  gen->measure_from = measure_from;
+  gen->pages_after_load = after_load;
+  gen->pages_final = final_pages;
+  gen->transactions = txns;
+  return true;
+}
+
+CachedTrace GenerateOrLoadTrace(const tpcc::TpccConfig& tc,
+                                uint64_t warm_txns, uint64_t measure_txns,
+                                uint64_t checkpoint_every) {
+  const std::string base =
+      TraceCachePath(tc, warm_txns, measure_txns, checkpoint_every);
+  const std::string trace_path = base + ".trace";
+  const std::string meta_path = base + ".meta";
+  const bool cache_enabled = std::getenv("LSS_BENCH_NO_CACHE") == nullptr;
+
+  CachedTrace out;
+  if (cache_enabled && LoadMeta(meta_path, &out.gen) &&
+      out.gen.trace.LoadFrom(trace_path) && !out.gen.trace.Empty()) {
+    out.from_cache = true;
+    return out;
+  }
+  out.gen = tpcc::GenerateTpccTrace(tc, warm_txns, measure_txns,
+                                    checkpoint_every);
+  if (cache_enabled) {
+    // Best effort, and atomic against concurrent bench runs: write to a
+    // pid-unique temp name, then rename into place (atomic on POSIX), so
+    // a reader never sees a half-written cache file.
+    const std::string suffix = "." + std::to_string(::getpid()) + ".tmp";
+    const std::string trace_tmp = trace_path + suffix;
+    const std::string meta_tmp = meta_path + suffix;
+    if (out.gen.trace.SaveTo(trace_tmp) && SaveMeta(meta_tmp, out.gen) &&
+        std::rename(trace_tmp.c_str(), trace_path.c_str()) == 0 &&
+        std::rename(meta_tmp.c_str(), meta_path.c_str()) == 0) {
+      return out;
+    }
+    std::remove(trace_tmp.c_str());
+    std::remove(meta_tmp.c_str());
+  }
+  return out;
+}
+
 void Run() {
   using tpcc::TpccConfig;
-  // Scaled-down TPC-C: ~4 warehouses of reduced cardinality. What the
-  // cleaning experiment needs is the write *pattern* (schema + mix +
-  // cache ratio), not absolute size.
+  // Scaled-down TPC-C: ~4 warehouses of reduced cardinality at scale 1.
+  // What the cleaning experiment needs is the write *pattern* (schema +
+  // mix + cache ratio), not absolute size. LSS_BENCH_SCALE=N multiplies
+  // the warehouse count (TPC-C's own scaling knob) as well as the
+  // transaction counts, growing the database toward the paper's
+  // 4 GB-cache regime.
+  const uint32_t scale = bench::ScaleFactor();
   TpccConfig tc;
-  tc.warehouses = 4;
+  tc.warehouses = 4 * scale;
   tc.districts_per_warehouse = 10;
   tc.customers_per_district = 400;
   tc.items = 5000;
   tc.orders_per_district = 400;
   tc.seed = 17;
 
-  const uint32_t scale = bench::ScaleFactor();
   const uint64_t warm_txns = 20000ull * scale;
   const uint64_t measure_txns = 80000ull * scale;
 
@@ -51,19 +157,22 @@ void Run() {
   }
   tc.buffer_pool_pages = std::max<size_t>(64, db_pages / 10);
 
-  std::printf("Figure 6: TPC-C trace replay (db ~%llu pages, cache %zu "
-              "pages, %llu warm + %llu measured txns)\n",
+  std::printf("Figure 6: TPC-C trace replay (%u warehouses, db ~%llu pages, "
+              "cache %zu pages, %llu warm + %llu measured txns)\n",
+              tc.warehouses,
               static_cast<unsigned long long>(db_pages),
               tc.buffer_pool_pages,
               static_cast<unsigned long long>(warm_txns),
               static_cast<unsigned long long>(measure_txns));
 
-  const tpcc::TpccTraceResult gen =
-      tpcc::GenerateTpccTrace(tc, warm_txns, measure_txns,
-                              /*checkpoint_every=*/2000);
-  std::printf("trace: %zu page writes (%zu measured), db grew %llu -> "
+  const CachedTrace cached =
+      GenerateOrLoadTrace(tc, warm_txns, measure_txns,
+                          /*checkpoint_every=*/2000);
+  const tpcc::TpccTraceResult& gen = cached.gen;
+  std::printf("trace%s: %zu page writes (%zu measured), db grew %llu -> "
               "%llu pages\n\n",
-              gen.trace.Size(), gen.trace.Size() - gen.measure_from,
+              cached.from_cache ? " (cached)" : "", gen.trace.Size(),
+              gen.trace.Size() - gen.measure_from,
               static_cast<unsigned long long>(gen.pages_after_load),
               static_cast<unsigned long long>(gen.pages_final));
 

@@ -66,7 +66,7 @@ void BM_VictimSelection(benchmark::State& state) {
   std::vector<SegmentId> victims;
   for (auto _ : state) {
     victims.clear();
-    policy.SelectVictims(*store, 0, 16, &victims);
+    policy.SelectVictims(store->shard(), 0, 16, &victims);
     benchmark::DoNotOptimize(victims.data());
   }
   state.SetItemsProcessed(state.iterations());

@@ -4,12 +4,43 @@
 # This mirrors .github/workflows/ci.yml exactly; if this passes locally,
 # CI should be green.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [--tsan] [build-dir]
+#   default:  full build + full test suite in ./build
+#   --tsan:   rebuild with -fsanitize=thread in ./build-tsan (or the given
+#             build dir) and run the concurrency test suites under
+#             ThreadSanitizer — the data-race gate for ShardedStore and
+#             the striped PageTable.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+TSAN=0
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
+  shift
+fi
+
+if [[ $TSAN -eq 1 ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+else
+  BUILD_DIR="${1:-build}"
+fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ $TSAN -eq 1 ]]; then
+  # Benches and examples are irrelevant to the race check; skipping them
+  # keeps the instrumented build quick.
+  cmake -B "$BUILD_DIR" -S . -DLSS_TSAN=ON \
+    -DLSS_BUILD_BENCHES=OFF -DLSS_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  # TSAN_OPTIONS makes any reported race fail the run even if the test
+  # binary would otherwise exit 0.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+      -R 'Sharded|PageTableConcurrency|Parallel'
+  echo "check.sh: tsan green"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"

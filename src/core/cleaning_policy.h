@@ -9,7 +9,7 @@
 
 namespace lss {
 
-class LogStructuredStore;
+class StoreShard;
 
 /// Strategy interface for segment cleaning (paper §4, §6.1.3).
 ///
@@ -21,9 +21,14 @@ class LogStructuredStore;
 ///     to (PlacementLog). Single-log policies always return 0; multi-log
 ///     partitions pages into logs by estimated update frequency.
 ///
-/// Policies are stateless with respect to store content except where the
-/// algorithm requires it (multi-log's band->log map); all bookkeeping data
-/// (A, C, up2, seal time, exact-frequency sums) lives on the segments.
+/// Policies operate on one StoreShard — the complete single-log state.
+/// Each shard of a ShardedStore owns its *own* policy instance (built by
+/// MakePolicy), so policy state (multi-log's band->log map, per-page band
+/// memory) is confined to a shard and never shared across threads;
+/// SelectVictims is genuinely read-only (const), while PlacementLog is
+/// deliberately non-const because band assignment mutates policy state.
+/// All bookkeeping data the decisions consume (A, C, up2, seal time,
+/// exact-frequency sums) lives on the segments.
 class CleaningPolicy {
  public:
   virtual ~CleaningPolicy() = default;
@@ -36,17 +41,19 @@ class CleaningPolicy {
   /// low (multi-log cleans locally around it; others ignore it). Must not
   /// return open or free segments. Returning fewer than `max_victims`
   /// (even one) is fine; returning none means nothing is cleanable.
-  virtual void SelectVictims(const LogStructuredStore& store,
-                             uint32_t triggering_log, size_t max_victims,
+  virtual void SelectVictims(const StoreShard& shard, uint32_t triggering_log,
+                             size_t max_victims,
                              std::vector<SegmentId>* out) const = 0;
 
-  /// Placement log for a page write. `upf_estimate` is the store's current
+  /// Placement log for a page write. `upf_estimate` is the shard's current
   /// update-frequency estimate for the page (exact when an oracle is
   /// installed), or <= 0 when unknown (first write). `is_gc` distinguishes
-  /// cleaner re-writes from user writes.
-  virtual uint32_t PlacementLog(const LogStructuredStore& store, PageId page,
-                                bool is_gc, double upf_estimate) const {
-    (void)store;
+  /// cleaner re-writes from user writes. Non-const: policies that assign
+  /// pages to logs (multi-log) update their band state here — this is the
+  /// explicit mutation step, so const policy methods stay read-only.
+  virtual uint32_t PlacementLog(const StoreShard& shard, PageId page,
+                                bool is_gc, double upf_estimate) {
+    (void)shard;
     (void)page;
     (void)is_gc;
     (void)upf_estimate;

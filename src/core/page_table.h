@@ -1,8 +1,10 @@
 #ifndef LSS_CORE_PAGE_TABLE_H_
 #define LSS_CORE_PAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <vector>
+#include <deque>
+#include <mutex>
 
 #include "core/types.h"
 
@@ -32,40 +34,96 @@ struct PageMeta {
   UpdateCount last_update = 0;
 };
 
-/// Dense page table: PageId -> PageMeta. Page ids are expected to be
-/// small integers (workloads number their pages 0..P-1); the table grows
-/// on demand.
+/// Lock-striped page table: PageId -> PageMeta. Page ids are expected to
+/// be small integers (workloads number their pages 0..P-1); the table
+/// grows on demand.
+///
+/// Storage is split into kStripes independently locked stripes (page id
+/// low bits select the stripe), so shards of a ShardedStore can grow and
+/// read the shared table concurrently without a global lock — the same
+/// fine-grained-locking idiom an OS coremap uses for its physical page
+/// entries. Each stripe is a deque, so references returned by Ensure /
+/// GetMutable stay valid across later growth.
+///
+/// Concurrency contract: the table protects its own *structure* (growth,
+/// slot lookup) with the stripe locks. The PageMeta *fields* themselves
+/// are not locked here — all accesses to a given page's meta must be
+/// serialized by the page's owner (in a ShardedStore, the owning shard's
+/// mutex; in a plain LogStructuredStore, the single-threaded caller).
 class PageTable {
  public:
-  PageTable() = default;
+  static constexpr uint32_t kStripeBits = 6;
+  static constexpr uint32_t kStripes = 1u << kStripeBits;  // 64
 
-  /// Returns the metadata slot for `page`, growing the table if needed.
+  PageTable() = default;
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Returns the metadata slot for `page`, growing its stripe if needed.
   PageMeta& Ensure(PageId page) {
-    if (page >= pages_.size()) pages_.resize(page + 1);
-    return pages_[page];
+    Stripe& s = stripes_[StripeOf(page)];
+    const size_t slot = SlotOf(page);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.metas.size() <= slot) s.metas.resize(slot + 1);
+    // Size() is the max ensured page id + 1, maintained monotonically.
+    PageId want = page + 1;
+    PageId cur = size_.load(std::memory_order_relaxed);
+    while (cur < want &&
+           !size_.compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
+    }
+    return s.metas[slot];
   }
 
-  /// Metadata for a page known to be in range.
-  const PageMeta& Get(PageId page) const { return pages_[page]; }
-  PageMeta& GetMutable(PageId page) { return pages_[page]; }
+  /// Metadata for `page`; pages never materialised read as an absent
+  /// default (exactly what a freshly grown slot would hold).
+  const PageMeta& Get(PageId page) const {
+    static const PageMeta kAbsent{};
+    const Stripe& s = stripes_[StripeOf(page)];
+    const size_t slot = SlotOf(page);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (slot >= s.metas.size()) return kAbsent;
+    return s.metas[slot];
+  }
+
+  /// Mutable metadata; materialises the slot if needed.
+  PageMeta& GetMutable(PageId page) { return Ensure(page); }
 
   /// True if `page` has ever been written and is currently present.
   bool Present(PageId page) const {
-    return page < pages_.size() && pages_[page].loc.Present();
+    const Stripe& s = stripes_[StripeOf(page)];
+    const size_t slot = SlotOf(page);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return slot < s.metas.size() && s.metas[slot].loc.Present();
   }
 
-  /// Number of page slots allocated (max page id + 1).
-  size_t Size() const { return pages_.size(); }
+  /// Number of page slots allocated (max page id ensured + 1).
+  size_t Size() const { return size_.load(std::memory_order_acquire); }
 
   /// Number of currently present pages (O(n); for tests/diagnostics).
   size_t CountPresent() const {
     size_t n = 0;
-    for (const auto& m : pages_) n += m.loc.Present() ? 1 : 0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (const PageMeta& m : s.metas) n += m.loc.Present() ? 1 : 0;
+    }
     return n;
   }
 
  private:
-  std::vector<PageMeta> pages_;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::deque<PageMeta> metas;
+  };
+
+  static constexpr uint32_t StripeOf(PageId page) {
+    return static_cast<uint32_t>(page) & (kStripes - 1);
+  }
+  static constexpr size_t SlotOf(PageId page) {
+    return static_cast<size_t>(page >> kStripeBits);
+  }
+
+  Stripe stripes_[kStripes];
+  std::atomic<PageId> size_{0};
 };
 
 }  // namespace lss

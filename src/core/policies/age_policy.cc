@@ -1,15 +1,15 @@
 #include "core/policies/age_policy.h"
 
 #include "core/policies/selection.h"
-#include "core/store.h"
+#include "core/store_shard.h"
 
 namespace lss {
 
-void AgePolicy::SelectVictims(const LogStructuredStore& store,
+void AgePolicy::SelectVictims(const StoreShard& shard,
                               uint32_t /*triggering_log*/, size_t max_victims,
                               std::vector<SegmentId>* out) const {
   internal_selection::SelectSmallestSealed(
-      store.segments(), max_victims,
+      shard.segments(), max_victims,
       [](const Segment& s) { return static_cast<double>(s.seal_time()); },
       out);
 }

@@ -16,7 +16,7 @@ class AgePolicy : public CleaningPolicy {
  public:
   std::string name() const override { return "age"; }
 
-  void SelectVictims(const LogStructuredStore& store, uint32_t triggering_log,
+  void SelectVictims(const StoreShard& shard, uint32_t triggering_log,
                      size_t max_victims,
                      std::vector<SegmentId>* out) const override;
 };

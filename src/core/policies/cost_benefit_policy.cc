@@ -3,18 +3,18 @@
 #include <algorithm>
 
 #include "core/policies/selection.h"
-#include "core/store.h"
+#include "core/store_shard.h"
 
 namespace lss {
 
-void CostBenefitPolicy::SelectVictims(const LogStructuredStore& store,
+void CostBenefitPolicy::SelectVictims(const StoreShard& shard,
                                       uint32_t /*triggering_log*/,
                                       size_t max_victims,
                                       std::vector<SegmentId>* out) const {
-  const double now = static_cast<double>(store.unow());
+  const double now = static_cast<double>(shard.unow());
   if (formula_ == Formula::kLfs) {
     internal_selection::SelectSmallestSealed(
-        store.segments(), max_victims,
+        shard.segments(), max_victims,
         [now](const Segment& s) {
           const double e = s.Emptiness();
           const double age = now - static_cast<double>(s.seal_time());
@@ -28,9 +28,9 @@ void CostBenefitPolicy::SelectVictims(const LogStructuredStore& store,
   // Paper-literal: (1-E)*age/E, maximised. Floor E at one page's worth of
   // the segment so fully-live segments are strongly preferred but finite.
   internal_selection::SelectSmallestSealed(
-      store.segments(), max_victims,
-      [now, &store](const Segment& s) {
-        const double floor_e = static_cast<double>(store.config().page_bytes) /
+      shard.segments(), max_victims,
+      [now, &shard](const Segment& s) {
+        const double floor_e = static_cast<double>(shard.config().page_bytes) /
                                static_cast<double>(s.capacity_bytes());
         const double e = std::max(s.Emptiness(), floor_e);
         const double age = now - static_cast<double>(s.seal_time());

@@ -42,7 +42,7 @@ class CostBenefitPolicy : public CleaningPolicy {
     return formula_ == Formula::kLfs ? "cost-benefit" : "cost-benefit-lit";
   }
 
-  void SelectVictims(const LogStructuredStore& store, uint32_t triggering_log,
+  void SelectVictims(const StoreShard& shard, uint32_t triggering_log,
                      size_t max_victims,
                      std::vector<SegmentId>* out) const override;
 

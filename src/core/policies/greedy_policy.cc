@@ -1,16 +1,16 @@
 #include "core/policies/greedy_policy.h"
 
 #include "core/policies/selection.h"
-#include "core/store.h"
+#include "core/store_shard.h"
 
 namespace lss {
 
-void GreedyPolicy::SelectVictims(const LogStructuredStore& store,
+void GreedyPolicy::SelectVictims(const StoreShard& shard,
                                  uint32_t /*triggering_log*/,
                                  size_t max_victims,
                                  std::vector<SegmentId>* out) const {
   internal_selection::SelectSmallestSealed(
-      store.segments(), max_victims,
+      shard.segments(), max_victims,
       // Most available space first => smallest negated availability.
       [](const Segment& s) {
         return -static_cast<double>(s.available_bytes());

@@ -4,19 +4,19 @@
 #include <limits>
 
 #include "core/policies/selection.h"
-#include "core/store.h"
+#include "core/store_shard.h"
 
 namespace lss {
 
-void MdcPolicy::SelectVictims(const LogStructuredStore& store,
+void MdcPolicy::SelectVictims(const StoreShard& shard,
                               uint32_t /*triggering_log*/, size_t max_victims,
                               std::vector<SegmentId>* out) const {
-  const double now = static_cast<double>(store.unow());
-  const bool opt = opt_ && store.HasOracle();
-  assert(!opt_ || store.HasOracle());
+  const double now = static_cast<double>(shard.unow());
+  const bool opt = opt_ && shard.HasOracle();
+  assert(!opt_ || shard.HasOracle());
 
   internal_selection::SelectSmallestSealed(
-      store.segments(), max_victims,
+      shard.segments(), max_victims,
       [now, opt](const Segment& s) {
         const double a = static_cast<double>(s.available_bytes());
         const double live = static_cast<double>(s.live_bytes());  // B - A

@@ -36,7 +36,7 @@ class MdcPolicy : public CleaningPolicy {
 
   std::string name() const override { return opt_ ? "MDC-opt" : "MDC"; }
 
-  void SelectVictims(const LogStructuredStore& store, uint32_t triggering_log,
+  void SelectVictims(const StoreShard& shard, uint32_t triggering_log,
                      size_t max_victims,
                      std::vector<SegmentId>* out) const override;
 

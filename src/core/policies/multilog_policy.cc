@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "core/store.h"
+#include "core/store_shard.h"
 
 namespace lss {
 
@@ -13,7 +13,7 @@ int MultiLogPolicy::BandOf(double period) {
   return static_cast<int>(std::floor(std::log2(period)));
 }
 
-uint32_t MultiLogPolicy::LogForBand(int band, uint32_t effective_cap) const {
+uint32_t MultiLogPolicy::LogForBand(int band, uint32_t effective_cap) {
   auto it = band_to_log_.find(band);
   if (it != band_to_log_.end()) return it->second;
   if (band_to_log_.size() < effective_cap) {
@@ -31,16 +31,20 @@ uint32_t MultiLogPolicy::LogForBand(int band, uint32_t effective_cap) const {
                                                     : lo->second;
 }
 
-uint32_t MultiLogPolicy::PlacementLog(const LogStructuredStore& store,
+uint32_t MultiLogPolicy::PlacementLog(const StoreShard& shard,
                                       PageId page, bool /*is_gc*/,
-                                      double upf_estimate) const {
+                                      double upf_estimate) {
   double period;
   if (upf_estimate > 0.0) {
     period = 1.0 / upf_estimate;
   } else {
     // No history: assume the page is of average heat — its expected
-    // update period equals the number of user pages.
-    period = std::max<double>(1.0, static_cast<double>(store.page_table().Size()));
+    // update period (in this shard's clock ticks) equals the number of
+    // user pages *this shard manages*. The table is shared across
+    // shards, so divide its global size by the shard count.
+    const double shard_pages = static_cast<double>(shard.page_table().Size()) /
+                               static_cast<double>(shard.num_shards());
+    period = std::max<double>(1.0, shard_pages);
   }
   int band = BandOf(period);
 
@@ -60,11 +64,11 @@ uint32_t MultiLogPolicy::PlacementLog(const LogStructuredStore& store,
   // Every active log pins open segments, so the log count must stay small
   // relative to the device; tiny test devices get a tighter cap.
   const uint32_t device_cap =
-      std::max<uint32_t>(2, store.config().num_segments / 16);
+      std::max<uint32_t>(2, shard.config().num_segments / 16);
   return LogForBand(band, std::min(max_logs_, device_cap));
 }
 
-void MultiLogPolicy::SelectVictims(const LogStructuredStore& store,
+void MultiLogPolicy::SelectVictims(const StoreShard& shard,
                                    uint32_t triggering_log,
                                    size_t /*max_victims*/,
                                    std::vector<SegmentId>* out) const {
@@ -75,7 +79,7 @@ void MultiLogPolicy::SelectVictims(const LogStructuredStore& store,
   // ties toward the oldest. (Under the exact oracle and a uniform
   // workload all pages share one log and the oldest *is* the emptiest,
   // reproducing the age-equivalence §6.2.2 describes.)
-  const auto& segments = store.segments();
+  const auto& segments = shard.segments();
   std::vector<SegmentId> oldest(log_to_band_.empty() ? 1 : log_to_band_.size(),
                                 kInvalidSegment);
   for (SegmentId id = 0; id < segments.size(); ++id) {

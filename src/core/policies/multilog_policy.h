@@ -33,6 +33,11 @@ namespace lss {
 /// timestamp; `use_exact_frequency` selects multi-log-opt, which uses the
 /// workload oracle (under uniform updates every page then lands in one
 /// log and cleaning degenerates to age order, exactly as §6.2.2 notes).
+///
+/// Band state (band<->log maps, per-page band memory) mutates only in the
+/// non-const PlacementLog step; the const methods (SelectVictims, name,
+/// NumLogs) are genuinely read-only. One policy instance belongs to one
+/// shard, so this state never needs locking.
 class MultiLogPolicy : public CleaningPolicy {
  public:
   /// `max_logs` caps runtime log proliferation (the store ties up two open
@@ -45,12 +50,12 @@ class MultiLogPolicy : public CleaningPolicy {
     return opt_ ? "multi-log-opt" : "multi-log";
   }
 
-  void SelectVictims(const LogStructuredStore& store, uint32_t triggering_log,
+  void SelectVictims(const StoreShard& shard, uint32_t triggering_log,
                      size_t max_victims,
                      std::vector<SegmentId>* out) const override;
 
-  uint32_t PlacementLog(const LogStructuredStore& store, PageId page,
-                        bool is_gc, double upf_estimate) const override;
+  uint32_t PlacementLog(const StoreShard& shard, PageId page, bool is_gc,
+                        double upf_estimate) override;
 
   /// Cleans one segment at a time (§6.1.3).
   size_t PreferredBatch(size_t /*config_batch*/) const override { return 1; }
@@ -63,20 +68,20 @@ class MultiLogPolicy : public CleaningPolicy {
   static int BandOf(double period);
 
   // Log id for `band`, creating it if `effective_cap` allows, else the
-  // nearest existing band's log. PlacementLog is conceptually const for
-  // callers but lazily grows this map, hence mutable.
-  uint32_t LogForBand(int band, uint32_t effective_cap) const;
+  // nearest existing band's log. Called from PlacementLog, the one place
+  // policy state may grow.
+  uint32_t LogForBand(int band, uint32_t effective_cap);
 
   bool opt_;
   uint32_t max_logs_;
-  mutable std::map<int, uint32_t> band_to_log_;  // sorted by band
-  mutable std::vector<int> log_to_band_;
+  std::map<int, uint32_t> band_to_log_;  // sorted by band
+  std::vector<int> log_to_band_;
   // Per-page current band, for damped migration: a page moves at most one
   // band per write toward its estimated band, smoothing the noise of the
   // single-interval estimator ([26]'s pages "move between neighbouring
   // logs"). kNoBand marks pages never placed.
   static constexpr int kNoBand = INT32_MIN;
-  mutable std::vector<int> page_band_;
+  std::vector<int> page_band_;
 };
 
 }  // namespace lss

@@ -1,0 +1,147 @@
+#include "core/sharded_store.h"
+
+namespace lss {
+
+std::unique_ptr<ShardedStore> ShardedStore::Create(
+    const StoreConfig& config, uint32_t num_shards,
+    const PolicyFactory& policy_factory, Status* status) {
+  auto fail = [status](Status s) -> std::unique_ptr<ShardedStore> {
+    if (status != nullptr) *status = std::move(s);
+    return nullptr;
+  };
+  if (num_shards < 1 || num_shards > 1024) {
+    return fail(Status::InvalidArgument("num_shards must be in [1, 1024]"));
+  }
+  if (!policy_factory) {
+    return fail(Status::InvalidArgument("policy factory must not be null"));
+  }
+  Status s = config.Validate();
+  if (!s.ok()) return fail(std::move(s));
+
+  // Split the device evenly; any remainder segments are dropped rather
+  // than creating unequal shards (at most num_shards - 1 segments, noise
+  // at any realistic device size).
+  StoreConfig shard_cfg = config;
+  shard_cfg.num_segments = config.num_segments / num_shards;
+  s = shard_cfg.Validate();
+  if (!s.ok()) {
+    return fail(Status::InvalidArgument(
+        "per-shard geometry invalid (device too small for " +
+        std::to_string(num_shards) + " shards): " + s.message()));
+  }
+
+  auto store = std::unique_ptr<ShardedStore>(new ShardedStore());
+  store->shard_config_ = shard_cfg;
+  store->shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    auto policy = policy_factory();
+    if (policy == nullptr) {
+      return fail(Status::InvalidArgument("policy factory returned null"));
+    }
+    auto slot = std::make_unique<Shard>();
+    slot->shard = std::make_unique<StoreShard>(shard_cfg, std::move(policy),
+                                               &store->table_, i, num_shards);
+    store->shards_.push_back(std::move(slot));
+  }
+  if (status != nullptr) *status = Status::OK();
+  return store;
+}
+
+void ShardedStore::SetExactFrequencyOracle(const ExactFrequencyFn& oracle) {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->shard->SetExactFrequencyOracle(oracle);
+  }
+}
+
+Status ShardedStore::Write(PageId page, uint32_t bytes) {
+  Shard& s = *shards_[ShardOf(page)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.shard->Write(page, bytes);
+}
+
+Status ShardedStore::Delete(PageId page) {
+  Shard& s = *shards_[ShardOf(page)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.shard->Delete(page);
+}
+
+Status ShardedStore::Flush() {
+  // Attempt every shard even after a failure so healthy shards still
+  // drain their buffers; report the first error.
+  Status result = Status::OK();
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    Status st = s->shard->Flush();
+    if (!st.ok() && result.ok()) result = std::move(st);
+  }
+  return result;
+}
+
+bool ShardedStore::Contains(PageId page) const {
+  const Shard& s = *shards_[ShardOf(page)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.shard->Contains(page);
+}
+
+uint32_t ShardedStore::PageSize(PageId page) const {
+  const Shard& s = *shards_[ShardOf(page)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.shard->PageSize(page);
+}
+
+StoreStats ShardedStore::AggregatedStats() const {
+  StoreStats total;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total.Merge(s->shard->stats());
+  }
+  return total;
+}
+
+void ShardedStore::ResetMeasurement() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->shard->mutable_stats().ResetMeasurement();
+  }
+}
+
+std::vector<double> ShardedStore::PerShardWriteAmplification() const {
+  std::vector<double> wamp;
+  wamp.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    wamp.push_back(s->shard->stats().WriteAmplification());
+  }
+  return wamp;
+}
+
+double ShardedStore::CurrentFillFactor() const {
+  double fill_sum = 0.0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    fill_sum += s->shard->CurrentFillFactor();
+  }
+  // Shards have identical device sizes, so the aggregate fill is the mean.
+  return shards_.empty() ? 0.0 : fill_sum / static_cast<double>(shards_.size());
+}
+
+size_t ShardedStore::LivePageCount() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->shard->LivePageCount();
+  }
+  return n;
+}
+
+Status ShardedStore::CheckInvariants() const {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    Status st = s->shard->CheckInvariants();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace lss

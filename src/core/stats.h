@@ -53,6 +53,21 @@ class StoreStats {
   const Histogram& clean_emptiness() const { return clean_emptiness_; }
   Histogram& mutable_clean_emptiness() { return clean_emptiness_; }
 
+  /// Accumulates another store's counters into this one (ShardedStore
+  /// merges per-shard stats on read). Both histograms must share the
+  /// default geometry, which every StoreStats does.
+  void Merge(const StoreStats& other) {
+    user_updates += other.user_updates;
+    user_pages_written += other.user_pages_written;
+    gc_pages_written += other.gc_pages_written;
+    user_segments_sealed += other.user_segments_sealed;
+    gc_segments_sealed += other.gc_segments_sealed;
+    segments_cleaned += other.segments_cleaned;
+    cleanings += other.cleanings;
+    deletes += other.deletes;
+    clean_emptiness_.Merge(other.clean_emptiness_);
+  }
+
   /// Zeroes all counters; store state is untouched.
   void ResetMeasurement() {
     user_updates = 0;

@@ -1,10 +1,5 @@
 #include "core/store.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <limits>
-
 namespace lss {
 
 std::unique_ptr<LogStructuredStore> LogStructuredStore::Create(
@@ -21,503 +16,6 @@ std::unique_ptr<LogStructuredStore> LogStructuredStore::Create(
   if (status != nullptr) *status = Status::OK();
   return std::unique_ptr<LogStructuredStore>(
       new LogStructuredStore(config, std::move(policy)));
-}
-
-LogStructuredStore::LogStructuredStore(const StoreConfig& config,
-                                       std::unique_ptr<CleaningPolicy> policy)
-    : config_(config),
-      policy_(std::move(policy)),
-      buffer_(static_cast<uint64_t>(config.write_buffer_segments) *
-              config.segment_bytes) {
-  segments_.reserve(config_.num_segments);
-  free_list_.reserve(config_.num_segments);
-  for (uint32_t i = 0; i < config_.num_segments; ++i) {
-    segments_.emplace_back(config_.segment_bytes);
-  }
-  // Allocate from low ids first (cosmetic; any order works).
-  for (uint32_t i = config_.num_segments; i > 0; --i) {
-    free_list_.push_back(i - 1);
-  }
-}
-
-void LogStructuredStore::SetExactFrequencyOracle(ExactFrequencyFn oracle) {
-  oracle_ = std::move(oracle);
-}
-
-double LogStructuredStore::EstimateUpf(PageId page) const {
-  if (oracle_) return oracle_(page);
-  if (page >= table_.Size()) return 0.0;
-  const PageMeta& m = table_.Get(page);
-  if (m.last_update == 0 || unow_ <= m.last_update) return 0.0;
-  return 1.0 / static_cast<double>(unow_ - m.last_update);
-}
-
-double LogStructuredStore::CurrentFillFactor() const {
-  uint64_t live = 0;
-  for (const Segment& s : segments_) live += s.live_bytes();
-  for (size_t i = 0; i < buffer_.Count(); ++i) {
-    const BufferedWrite& w = buffer_.Get(i);
-    if (w.page != kInvalidPage) live += w.bytes;
-  }
-  const double device = static_cast<double>(config_.num_segments) *
-                        static_cast<double>(config_.segment_bytes);
-  return static_cast<double>(live) / device;
-}
-
-double LogStructuredStore::CurrentUp2(const PageLocation& loc) const {
-  if (loc.InBuffer()) return buffer_.Get(loc.index).up2;
-  return segments_[loc.segment].Up2Estimate();
-}
-
-void LogStructuredStore::KillOldVersion(PageId page, const PageLocation& loc) {
-  assert(!loc.InBuffer());
-  const double exact = oracle_ ? oracle_(page) : 0.0;
-  segments_[loc.segment].Kill(loc.index, exact);
-}
-
-Status LogStructuredStore::Write(PageId page, uint32_t bytes) {
-  if (!sticky_error_.ok()) return sticky_error_;
-  if (bytes == 0) bytes = config_.page_bytes;
-  if (bytes > config_.segment_bytes) {
-    return Status::InvalidArgument("page larger than a segment");
-  }
-  ++unow_;
-  ++stats_.user_updates;
-
-  PageMeta& m = table_.Ensure(page);
-  const double exact = oracle_ ? oracle_(page) : 0.0;
-  const bool first = !m.loc.Present();
-
-  // Estimate based on the previous update timestamp (multi-log's
-  // estimator); must be computed before last_update is overwritten.
-  double est_upf = exact;
-  if (!oracle_ && !first && unow_ > m.last_update) {
-    est_upf = 1.0 / static_cast<double>(unow_ - m.last_update);
-  }
-
-  double up2 = 0.0;
-  if (!first) {
-    // §5.2.2 "Non-first Write": assume up1 was midway between unow and
-    // up2; the prior up1 becomes the new up2.
-    const double old_up2 = CurrentUp2(m.loc);
-    up2 = old_up2 + 0.5 * (static_cast<double>(unow_) - old_up2);
-    if (m.loc.InBuffer()) {
-      if (config_.absorb_buffered_rewrites) {
-        // Absorb the re-update in place; no physical write happens now.
-        buffer_.Update(m.loc.index, bytes, up2, exact);
-        m.bytes = bytes;
-        m.last_update = unow_;
-        return Status::OK();
-      }
-      // Paper accounting: the buffer is a queue of writes, so the
-      // superseded copy stays queued and will be flushed as a write that
-      // is dead on arrival (it costs a physical page write and becomes
-      // instant garbage). The page table moves on to the new copy.
-      buffer_.GetMutable(m.loc.index).superseded = true;
-      m.loc = PageLocation{};
-    } else {
-      KillOldVersion(page, m.loc);
-    }
-  }
-  m.bytes = bytes;
-  m.last_update = unow_;
-
-  if (config_.write_buffer_segments > 0) {
-    BufferedWrite w;
-    w.page = page;
-    w.bytes = bytes;
-    w.up2 = up2;
-    w.first_write = first;
-    w.exact_upf = exact;
-    const uint32_t slot = buffer_.Add(w);
-    m.loc = PageLocation{kBufferSegment, slot};
-    if (buffer_.Full()) {
-      Status s = FlushUserBuffer();
-      if (!s.ok()) sticky_error_ = s;
-      return s;
-    }
-    return Status::OK();
-  }
-
-  // Unbuffered: place immediately in arrival order. First writes get the
-  // coldest possible estimate (up2 = 0), warming up as they are re-written.
-  Status s = PlacePage(page, bytes, up2, exact, est_upf, /*is_gc=*/false);
-  if (!s.ok()) sticky_error_ = s;
-  return s;
-}
-
-Status LogStructuredStore::Delete(PageId page) {
-  if (!sticky_error_.ok()) return sticky_error_;
-  if (!table_.Present(page)) {
-    return Status::NotFound("page not present");
-  }
-  PageMeta& m = table_.GetMutable(page);
-  if (m.loc.InBuffer()) {
-    BufferedWrite& w = buffer_.GetMutable(m.loc.index);
-    // Tombstone the buffer slot; flush skips it. The buffered bytes stay
-    // counted toward the flush threshold, which is harmless.
-    w.page = kInvalidPage;
-  } else {
-    KillOldVersion(page, m.loc);
-  }
-  m.loc = PageLocation{};
-  m.bytes = 0;
-  ++stats_.deletes;
-  return Status::OK();
-}
-
-Status LogStructuredStore::Flush() {
-  if (!sticky_error_.ok()) return sticky_error_;
-  if (buffer_.Empty()) return Status::OK();
-  Status s = FlushUserBuffer();
-  if (!s.ok()) sticky_error_ = s;
-  return s;
-}
-
-Status LogStructuredStore::FlushUserBuffer() {
-  std::vector<BufferedWrite> batch = buffer_.Drain();
-
-  // §5.2.2 "First Write": first writes get the oldest up2 in the batch
-  // ("pages mostly contain cold data, assigning a up2 that makes the page
-  // 'coldish' is usually appropriate").
-  double oldest = std::numeric_limits<double>::infinity();
-  for (const BufferedWrite& w : batch) {
-    if (w.page != kInvalidPage && !w.first_write) {
-      oldest = std::min(oldest, w.up2);
-    }
-  }
-  if (!std::isfinite(oldest)) oldest = 0.0;
-  for (BufferedWrite& w : batch) {
-    if (w.first_write) w.up2 = oldest;
-  }
-
-  if (config_.separate_user_writes) {
-    // Sort hottest first; the key is the exact frequency when an oracle
-    // is installed (the *-opt variants), else the up2 estimate (§5.3).
-    if (oracle_) {
-      std::stable_sort(batch.begin(), batch.end(),
-                       [](const BufferedWrite& a, const BufferedWrite& b) {
-                         return a.exact_upf > b.exact_upf;
-                       });
-    } else {
-      std::stable_sort(batch.begin(), batch.end(),
-                       [](const BufferedWrite& a, const BufferedWrite& b) {
-                         return a.up2 > b.up2;
-                       });
-    }
-  }
-
-  for (const BufferedWrite& w : batch) {
-    if (w.page == kInvalidPage) continue;  // deleted while buffered
-    double est = w.exact_upf;
-    if (!oracle_ && !w.first_write) {
-      // up2-implied frequency: two updates over (unow - up2) ticks (§4.3).
-      const double interval = static_cast<double>(unow_) - w.up2;
-      est = interval > 0 ? 2.0 / interval : 2.0;
-    }
-    Status s = PlacePage(w.page, w.bytes, w.up2, w.exact_upf, est,
-                         /*is_gc=*/false, /*dead_on_arrival=*/w.superseded);
-    if (!s.ok()) return s;
-  }
-  return Status::OK();
-}
-
-Status LogStructuredStore::PlacePage(PageId page, uint32_t bytes, double up2,
-                                     double exact_upf, double est_upf,
-                                     bool is_gc, bool dead_on_arrival) {
-  const uint32_t log = policy_->PlacementLog(*this, page, is_gc, est_upf);
-  const uint32_t stream =
-      (is_gc && !config_.gc_shares_user_stream) ? kGcStream : kUserStream;
-
-  SegmentId id = kInvalidSegment;
-  Segment* seg = OpenSegmentFor(log, stream, is_gc, &id);
-  if (seg == nullptr) return Status::OutOfSpace("no free segment to open");
-  // Seal-and-reopen until the page fits. One round usually suffices, but
-  // OpenSegmentFor may adopt a partially-filled segment the cleaner
-  // opened for this key, so this must loop (bounded: each round seals a
-  // segment, and a fresh segment always fits the page).
-  for (int rounds = 0; !seg->HasRoomFor(bytes); ++rounds) {
-    if (rounds > 4) {
-      return Status::Corruption("unable to open a segment with room");
-    }
-    SealOpenSegment(log, stream);
-    seg = OpenSegmentFor(log, stream, is_gc, &id);
-    if (seg == nullptr) return Status::OutOfSpace("no free segment to open");
-  }
-  const uint32_t idx = seg->Append(page, bytes, up2, exact_upf);
-  if (dead_on_arrival) {
-    // A queued duplicate: the physical write happens, the version is
-    // immediately garbage, and the page table keeps pointing at the
-    // newer copy.
-    seg->Kill(idx, exact_upf);
-  } else {
-    table_.GetMutable(page).loc = PageLocation{id, idx};
-  }
-  if (is_gc) {
-    ++stats_.gc_pages_written;
-  } else {
-    ++stats_.user_pages_written;
-  }
-  // Seal exactly-full segments eagerly. With fixed-size pages segments
-  // fill to the byte, and an exactly-full segment left open is invisible
-  // to the cleaner while pinning a whole segment of space.
-  if (!seg->HasRoomFor(1)) SealOpenSegment(log, stream);
-  return Status::OK();
-}
-
-Segment* LogStructuredStore::OpenSegmentFor(uint32_t log, uint32_t stream,
-                                            bool is_gc, SegmentId* id_out) {
-  const uint64_t key = OpenKey(log, stream);
-  auto it = open_segments_.find(key);
-  if (it != open_segments_.end()) {
-    *id_out = it->second;
-    return &segments_[it->second];
-  }
-  const SegmentId id = AllocateSegment(log);
-  if (id == kInvalidSegment) return nullptr;
-  // Allocation can run the cleaner, and the cleaner's own placements may
-  // have opened a segment for this very key; adopt it and return the
-  // allocated segment to the pool instead of orphaning an open segment.
-  it = open_segments_.find(key);
-  if (it != open_segments_.end()) {
-    free_list_.push_back(id);
-    *id_out = it->second;
-    return &segments_[it->second];
-  }
-  segments_[id].Open(log, is_gc ? SegmentSource::kGc : SegmentSource::kUser,
-                     unow_);
-  open_segments_.emplace(key, id);
-  *id_out = id;
-  return &segments_[id];
-}
-
-void LogStructuredStore::SealOpenSegment(uint32_t log, uint32_t stream) {
-  const uint64_t key = OpenKey(log, stream);
-  auto it = open_segments_.find(key);
-  assert(it != open_segments_.end());
-  Segment& seg = segments_[it->second];
-  const bool was_gc = seg.source() == SegmentSource::kGc;
-  seg.Seal(unow_);
-  if (was_gc) {
-    ++stats_.gc_segments_sealed;
-  } else {
-    ++stats_.user_segments_sealed;
-  }
-  open_segments_.erase(it);
-}
-
-SegmentId LogStructuredStore::AllocateSegment(uint32_t log) {
-  if (!cleaning_ && free_list_.size() <= config_.clean_trigger_segments) {
-    Status s = Clean(log);
-    if (!s.ok() && free_list_.empty()) return kInvalidSegment;
-  }
-  if (free_list_.empty()) return kInvalidSegment;
-  const SegmentId id = free_list_.back();
-  free_list_.pop_back();
-  return id;
-}
-
-uint64_t LogStructuredStore::HarvestVictims(
-    const std::vector<SegmentId>& victims, std::vector<MovedPage>* moved) {
-  uint64_t reclaimed_bytes = 0;
-  for (SegmentId id : victims) {
-    Segment& seg = segments_[id];
-    assert(seg.state() == SegmentState::kSealed);
-    stats_.mutable_clean_emptiness().Add(seg.Emptiness());
-    ++stats_.segments_cleaned;
-    reclaimed_bytes += seg.available_bytes();
-    const double seg_up2 = seg.up2();
-    for (const Segment::Entry& e : seg.entries()) {
-      if (e.page == kInvalidPage) continue;
-      MovedPage mp;
-      mp.page = e.page;
-      mp.bytes = e.bytes;
-      mp.up2 = seg_up2;
-      mp.exact_upf = oracle_ ? oracle_(e.page) : 0.0;
-      if (oracle_) {
-        mp.est_upf = mp.exact_upf;
-      } else {
-        const UpdateCount last = table_.Get(e.page).last_update;
-        mp.est_upf =
-            unow_ > last ? 1.0 / static_cast<double>(unow_ - last) : 0.0;
-      }
-      moved->push_back(mp);
-    }
-    seg.Reset();
-    free_list_.push_back(id);
-  }
-  return reclaimed_bytes;
-}
-
-Status LogStructuredStore::Clean(uint32_t triggering_log) {
-  cleaning_ = true;
-  Status result = Status::OK();
-  const size_t batch =
-      std::max<size_t>(1, policy_->PreferredBatch(config_.clean_batch_segments));
-
-  // Progress is measured in reclaimed *bytes*, not free-list growth: a
-  // cycle can free one victim and immediately consume one segment for the
-  // relocated pages (net zero on the pool) while still reclaiming most of
-  // a segment's worth of dead space — those dribbles accumulate into free
-  // segments over the next cycles. The device is declared full only after
-  // repeated cycles whose victims were fully live (nothing reclaimable),
-  // with a generous cycle cap as a backstop.
-  int no_progress_cycles = 0;
-  uint64_t cycle_cap = 16ull * config_.num_segments;
-  while (free_list_.size() <= config_.clean_trigger_segments) {
-    if (cycle_cap-- == 0) {
-      result = Status::OutOfSpace("cleaning cycle cap exceeded");
-      break;
-    }
-    const size_t free_before = free_list_.size();
-
-    std::vector<SegmentId> victims;
-    policy_->SelectVictims(*this, triggering_log, batch, &victims);
-    if (victims.empty()) {
-      result = Status::OutOfSpace("cleaner found no victim segments");
-      break;
-    }
-
-    // Read phase: collect the still-live pages of every victim, then free
-    // the victims. GC'd pages carry their segment's up2 (§5.2.2 "Garbage
-    // Collection Writes").
-    std::vector<MovedPage> moved;
-    uint64_t reclaimed = HarvestVictims(victims, &moved);
-    ++stats_.cleanings;
-
-    if (config_.separate_gc_writes) {
-      if (oracle_) {
-        std::stable_sort(moved.begin(), moved.end(),
-                         [](const MovedPage& a, const MovedPage& b) {
-                           return a.exact_upf > b.exact_upf;
-                         });
-      } else {
-        std::stable_sort(moved.begin(), moved.end(),
-                         [](const MovedPage& a, const MovedPage& b) {
-                           return a.up2 > b.up2;
-                         });
-      }
-    }
-
-    // Write phase: relocate. Placement allocates from the just-freed
-    // pool; moved bytes never exceed the freed capacity, but policies
-    // that fan pages out across many logs (multi-log) can transiently
-    // need more *open* segments than one cycle frees. On out-of-space,
-    // harvest one more victim and retry rather than declaring the device
-    // full.
-    bool place_failed = false;
-    int emergencies = 0;
-    for (size_t i = 0; i < moved.size();) {
-      const MovedPage& mp = moved[i];
-      Status s = PlacePage(mp.page, mp.bytes, mp.up2, mp.exact_upf,
-                           mp.est_upf, /*is_gc=*/true);
-      if (s.ok()) {
-        ++i;
-        continue;
-      }
-      std::vector<SegmentId> extra;
-      if (s.code() == Status::Code::kOutOfSpace && emergencies < 8) {
-        policy_->SelectVictims(*this, triggering_log, 1, &extra);
-      }
-      if (extra.empty()) {
-        result = s;
-        place_failed = true;
-        break;
-      }
-      ++emergencies;
-      reclaimed += HarvestVictims(extra, &moved);  // then retry moved[i]
-    }
-    if (place_failed) break;
-
-    if (reclaimed == 0 && free_list_.size() <= free_before) {
-      if (++no_progress_cycles >= 3) {
-        result = Status::OutOfSpace("cleaning made no progress");
-        break;
-      }
-    } else {
-      no_progress_cycles = 0;
-    }
-  }
-
-  cleaning_ = false;
-  return result;
-}
-
-Status LogStructuredStore::CheckInvariants() const {
-  // 1. Segment counters match entries.
-  for (SegmentId id = 0; id < segments_.size(); ++id) {
-    if (!segments_[id].CheckCountersConsistent()) {
-      return Status::Corruption("segment counters inconsistent");
-    }
-  }
-  // 2. Free-list segments are in kFree state, uniquely listed.
-  std::vector<uint8_t> in_free(segments_.size(), 0);
-  for (SegmentId id : free_list_) {
-    if (id >= segments_.size()) return Status::Corruption("bad free id");
-    if (in_free[id]) return Status::Corruption("duplicate free id");
-    in_free[id] = 1;
-    if (segments_[id].state() != SegmentState::kFree) {
-      return Status::Corruption("free-list segment not free");
-    }
-  }
-  for (SegmentId id = 0; id < segments_.size(); ++id) {
-    if (segments_[id].state() == SegmentState::kFree && !in_free[id]) {
-      return Status::Corruption("free segment missing from free list");
-    }
-  }
-  // 3. Every open segment is registered as the open segment of its
-  // (log, stream); none may leak outside the map.
-  {
-    size_t open_count = 0;
-    for (const Segment& s : segments_) {
-      open_count += (s.state() == SegmentState::kOpen) ? 1 : 0;
-    }
-    if (open_count != open_segments_.size()) {
-      return Status::Corruption("open segment not tracked in map");
-    }
-    for (const auto& [key, id] : open_segments_) {
-      (void)key;
-      if (segments_[id].state() != SegmentState::kOpen) {
-        return Status::Corruption("tracked open segment not open");
-      }
-    }
-  }
-  // 4. Every present page points at a live entry holding its id, and
-  // every live entry is pointed at by exactly its page.
-  uint64_t live_entries = 0;
-  for (const Segment& s : segments_) live_entries += s.live_count();
-  uint64_t present_in_segments = 0;
-  for (PageId p = 0; p < table_.Size(); ++p) {
-    const PageMeta& m = table_.Get(p);
-    if (!m.loc.Present()) continue;
-    if (m.loc.InBuffer()) {
-      if (m.loc.index >= buffer_.Count()) {
-        return Status::Corruption("buffer slot out of range");
-      }
-      if (buffer_.Get(m.loc.index).page != p) {
-        return Status::Corruption("buffer slot does not hold page");
-      }
-      continue;
-    }
-    ++present_in_segments;
-    if (m.loc.segment >= segments_.size()) {
-      return Status::Corruption("page points at bad segment");
-    }
-    const Segment& s = segments_[m.loc.segment];
-    if (s.state() == SegmentState::kFree) {
-      return Status::Corruption("page points at free segment");
-    }
-    if (m.loc.index >= s.entries().size()) {
-      return Status::Corruption("page entry index out of range");
-    }
-    const Segment::Entry& e = s.entries()[m.loc.index];
-    if (e.page != p) return Status::Corruption("entry does not hold page");
-    if (e.bytes != m.bytes) return Status::Corruption("entry size mismatch");
-  }
-  if (present_in_segments != live_entries) {
-    return Status::Corruption("live entry count != present page count");
-  }
-  return Status::OK();
 }
 
 }  // namespace lss

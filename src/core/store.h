@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/cleaning_policy.h"
@@ -11,8 +10,8 @@
 #include "core/page_table.h"
 #include "core/segment.h"
 #include "core/stats.h"
+#include "core/store_shard.h"
 #include "core/types.h"
-#include "core/write_buffer.h"
 
 namespace lss {
 
@@ -22,11 +21,12 @@ namespace lss {
 /// paper's simulator, only page identities and sizes are tracked, not page
 /// contents — write amplification depends only on the write pattern.
 ///
-/// The write path implements the paper's MDC machinery (§5): an optional
-/// user write buffer whose contents are sorted by estimated update
-/// frequency before being packed into segments, the up2 carry rules for
-/// re-writes / first writes / GC writes, and separate (optionally sorted)
-/// placement of GC'd pages.
+/// Since the sharding refactor all mechanics live in StoreShard; this
+/// class is the single-shard, single-threaded store: it owns one page
+/// table and exactly one shard and forwards to it, which keeps its
+/// behaviour bit-for-bit identical to a 1-shard ShardedStore (a property
+/// the determinism tests pin down). Use ShardedStore for multi-threaded
+/// runs.
 ///
 /// Typical use:
 ///   StoreConfig cfg;
@@ -47,42 +47,49 @@ class LogStructuredStore {
   /// Installs an exact update-frequency oracle for the `*-opt` policy
   /// variants. Must be set before the first Write. The oracle must be
   /// normalised so the mean frequency over user pages is 1.
-  void SetExactFrequencyOracle(ExactFrequencyFn oracle);
+  void SetExactFrequencyOracle(ExactFrequencyFn oracle) {
+    shard_.SetExactFrequencyOracle(std::move(oracle));
+  }
 
   /// Writes (inserts or updates) page `page`. `bytes` of 0 means the
   /// configured default page size. Advances the update-count clock.
   /// Fails with kOutOfSpace when cleaning cannot reclaim room.
-  Status Write(PageId page, uint32_t bytes = 0);
+  Status Write(PageId page, uint32_t bytes = 0) {
+    return shard_.Write(page, bytes);
+  }
 
   /// Removes a page; its storage becomes reclaimable garbage.
-  Status Delete(PageId page);
+  Status Delete(PageId page) { return shard_.Delete(page); }
 
   /// Drains any buffered user writes into segments.
-  Status Flush();
+  Status Flush() { return shard_.Flush(); }
 
   /// True if `page` currently has a live version (buffered or stored).
-  bool Contains(PageId page) const { return table_.Present(page); }
+  bool Contains(PageId page) const { return shard_.Contains(page); }
 
   /// Size in bytes of the current version of `page` (0 if absent).
-  uint32_t PageSize(PageId page) const {
-    return table_.Present(page) ? table_.Get(page).bytes : 0;
-  }
+  uint32_t PageSize(PageId page) const { return shard_.PageSize(page); }
 
   // --- Introspection (used by policies, benches and tests) -----------
 
-  const StoreConfig& config() const { return config_; }
-  const StoreStats& stats() const { return stats_; }
-  StoreStats& mutable_stats() { return stats_; }
-  const CleaningPolicy& policy() const { return *policy_; }
+  const StoreConfig& config() const { return shard_.config(); }
+  const StoreStats& stats() const { return shard_.stats(); }
+  StoreStats& mutable_stats() { return shard_.mutable_stats(); }
+  const CleaningPolicy& policy() const { return shard_.policy(); }
+
+  /// The underlying shard. Policies and victim-selection helpers operate
+  /// on shards; tests and benches reach it through here.
+  StoreShard& shard() { return shard_; }
+  const StoreShard& shard() const { return shard_; }
 
   /// The update-count clock unow (paper §5.1.2).
-  UpdateCount unow() const { return unow_; }
+  UpdateCount unow() const { return shard_.unow(); }
 
   /// All physical segments, indexed by SegmentId.
-  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<Segment>& segments() const { return shard_.segments(); }
 
   /// Number of segments currently in the free pool.
-  size_t FreeSegmentCount() const { return free_list_.size(); }
+  size_t FreeSegmentCount() const { return shard_.FreeSegmentCount(); }
 
   /// Number of live (present) pages. O(P); for tests and diagnostics.
   size_t LivePageCount() const { return table_.CountPresent(); }
@@ -90,93 +97,28 @@ class LogStructuredStore {
   const PageTable& page_table() const { return table_; }
 
   /// Whether an exact-frequency oracle is installed.
-  bool HasOracle() const { return static_cast<bool>(oracle_); }
+  bool HasOracle() const { return shard_.HasOracle(); }
 
   /// Current update-frequency estimate for `page`: the oracle value when
   /// installed, otherwise 1/(interval since the page's last update) —
   /// the "previous update timestamp" estimate the multi-log paper uses.
   /// Returns 0 for pages with no history.
-  double EstimateUpf(PageId page) const;
+  double EstimateUpf(PageId page) const { return shard_.EstimateUpf(page); }
 
   /// Fill factor in effect: live page bytes / device bytes.
-  double CurrentFillFactor() const;
+  double CurrentFillFactor() const { return shard_.CurrentFillFactor(); }
 
   /// Exhaustive cross-check of page table <-> segment entries <-> free
   /// list <-> counters. O(device). Returns the first inconsistency found.
-  Status CheckInvariants() const;
+  Status CheckInvariants() const { return shard_.CheckInvariants(); }
 
  private:
   LogStructuredStore(const StoreConfig& config,
-                     std::unique_ptr<CleaningPolicy> policy);
-
-  // A page version being relocated by the cleaner.
-  struct MovedPage {
-    PageId page;
-    uint32_t bytes;
-    double up2;        // carried from the victim segment (§5.2.2)
-    double exact_upf;  // oracle value or 0
-    double est_upf;    // placement estimate at clean time
-  };
-
-  // Streams keep user data and cleaner output in different open segments.
-  static constexpr uint32_t kUserStream = 0;
-  static constexpr uint32_t kGcStream = 1;
-
-  // The up2 value of the current version of a page at `loc` (the
-  // containing segment's estimate, or the buffered value).
-  double CurrentUp2(const PageLocation& loc) const;
-
-  // Kills the old version of `page` at `loc` (segment entry or buffer
-  // slot) prior to rewriting it.
-  void KillOldVersion(PageId page, const PageLocation& loc);
-
-  Status FlushUserBuffer();
-
-  // Appends one page version to the open segment of the policy-chosen
-  // log. Updates the page table and stats.
-  Status PlacePage(PageId page, uint32_t bytes, double up2, double exact_upf,
-                   double est_upf, bool is_gc, bool dead_on_arrival = false);
-
-  // Returns the open segment for (log, stream), opening one if needed.
-  // Returns nullptr on out-of-space.
-  Segment* OpenSegmentFor(uint32_t log, uint32_t stream, bool is_gc,
-                          SegmentId* id_out);
-
-  void SealOpenSegment(uint32_t log, uint32_t stream);
-
-  // Pops a free segment, running the cleaner first if the pool is low.
-  SegmentId AllocateSegment(uint32_t log);
-
-  // Reads the live pages of `victims` into `moved` (recording clean-time
-  // emptiness), then resets the victims and returns them to the free
-  // pool. Returns the reclaimed (dead) bytes across the victims.
-  uint64_t HarvestVictims(const std::vector<SegmentId>& victims,
-                          std::vector<MovedPage>* moved);
-
-  // One cleaning invocation: repeatedly selects a victim batch, relocates
-  // live pages, and frees the victims, until the free pool is above the
-  // trigger or no progress is possible.
-  Status Clean(uint32_t triggering_log);
-
-  static uint64_t OpenKey(uint32_t log, uint32_t stream) {
-    return (static_cast<uint64_t>(log) << 1) | stream;
-  }
-
-  StoreConfig config_;
-  std::unique_ptr<CleaningPolicy> policy_;
-  ExactFrequencyFn oracle_;
-
-  std::vector<Segment> segments_;
-  std::vector<SegmentId> free_list_;
-  std::unordered_map<uint64_t, SegmentId> open_segments_;  // OpenKey -> id
+                     std::unique_ptr<CleaningPolicy> policy)
+      : shard_(config, std::move(policy), &table_) {}
 
   PageTable table_;
-  WriteBuffer buffer_;
-  StoreStats stats_;
-
-  UpdateCount unow_ = 0;
-  bool cleaning_ = false;
-  Status sticky_error_;
+  StoreShard shard_;
 };
 
 }  // namespace lss

@@ -1,0 +1,216 @@
+#ifndef LSS_CORE_STORE_SHARD_H_
+#define LSS_CORE_STORE_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cleaning_policy.h"
+#include "core/config.h"
+#include "core/page_table.h"
+#include "core/segment.h"
+#include "core/stats.h"
+#include "core/types.h"
+#include "core/write_buffer.h"
+#include "util/rng.h"
+
+namespace lss {
+
+/// Shard a page id routes to: a SplitMix64 hash decorrelates page ids
+/// from their routing so contiguous id ranges spread across shards.
+/// Every layer (ShardedStore, invariant checks, workload partitioning)
+/// must agree on this one function.
+inline uint32_t PageShard(PageId page, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<uint32_t>(SplitMix64(page) % num_shards);
+}
+
+/// One independent log-structured log: segments, free pool, open
+/// segments, user write buffer, update-count clock, stats and cleaning
+/// policy — the complete single-log state of the paper's simulator
+/// (§6.1.1). A LogStructuredStore is exactly one shard; a ShardedStore
+/// owns several and routes pages to them by hash.
+///
+/// The page table is *shared*: each shard holds a reference to a
+/// lock-striped PageTable so that a dense global table serves all shards.
+/// A shard only ever touches metadata of pages it owns (PageShard), so
+/// per-page accesses need no further synchronisation beyond the table's
+/// stripe locks and the shard-level serialisation below.
+///
+/// Concurrency contract: a StoreShard is NOT internally synchronised.
+/// All calls on one shard must be serialised by the caller (ShardedStore
+/// wraps every shard in its own mutex; LogStructuredStore is
+/// single-threaded by construction). The cleaning policy instance is
+/// owned by the shard, so policy state (e.g. multi-log's band maps) is
+/// confined to the shard and needs no locking of its own.
+///
+/// The write path implements the paper's MDC machinery (§5): an optional
+/// user write buffer whose contents are sorted by estimated update
+/// frequency before being packed into segments, the up2 carry rules for
+/// re-writes / first writes / GC writes, and separate (optionally sorted)
+/// placement of GC'd pages.
+class StoreShard {
+ public:
+  /// `table` must outlive the shard. `config` must already be validated;
+  /// `policy` must be non-null. `shard_id`/`num_shards` define which
+  /// pages the shard owns (all of them when num_shards <= 1).
+  StoreShard(const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
+             PageTable* table, uint32_t shard_id = 0, uint32_t num_shards = 1);
+
+  StoreShard(const StoreShard&) = delete;
+  StoreShard& operator=(const StoreShard&) = delete;
+
+  /// Installs an exact update-frequency oracle for the `*-opt` policy
+  /// variants. Must be set before the first Write. The oracle must be
+  /// normalised so the mean frequency over user pages is 1, and must be
+  /// safe to call from any shard's thread.
+  void SetExactFrequencyOracle(ExactFrequencyFn oracle);
+
+  /// Writes (inserts or updates) page `page`. `bytes` of 0 means the
+  /// configured default page size. Advances the update-count clock.
+  /// Fails with kOutOfSpace when cleaning cannot reclaim room.
+  Status Write(PageId page, uint32_t bytes = 0);
+
+  /// Removes a page; its storage becomes reclaimable garbage.
+  Status Delete(PageId page);
+
+  /// Drains any buffered user writes into segments.
+  Status Flush();
+
+  /// True if `page` currently has a live version (buffered or stored).
+  bool Contains(PageId page) const { return table_.Present(page); }
+
+  /// Size in bytes of the current version of `page` (0 if absent).
+  uint32_t PageSize(PageId page) const {
+    return table_.Present(page) ? table_.Get(page).bytes : 0;
+  }
+
+  // --- Introspection (used by policies, benches and tests) -----------
+
+  const StoreConfig& config() const { return config_; }
+  const StoreStats& stats() const { return stats_; }
+  StoreStats& mutable_stats() { return stats_; }
+  const CleaningPolicy& policy() const { return *policy_; }
+
+  uint32_t shard_id() const { return shard_id_; }
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// True if this shard is the routing target of `page`.
+  bool OwnsPage(PageId page) const {
+    return num_shards_ <= 1 || PageShard(page, num_shards_) == shard_id_;
+  }
+
+  /// The update-count clock unow (paper §5.1.2). Each shard keeps its own
+  /// clock, ticking once per user update routed to it.
+  UpdateCount unow() const { return unow_; }
+
+  /// All physical segments of this shard, indexed by (shard-local)
+  /// SegmentId.
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Number of segments currently in the free pool.
+  size_t FreeSegmentCount() const { return free_list_.size(); }
+
+  /// Number of live (present) pages owned by this shard. O(P); for tests
+  /// and diagnostics.
+  size_t LivePageCount() const;
+
+  const PageTable& page_table() const { return table_; }
+
+  /// Whether an exact-frequency oracle is installed.
+  bool HasOracle() const { return static_cast<bool>(oracle_); }
+
+  /// Current update-frequency estimate for `page`: the oracle value when
+  /// installed, otherwise 1/(interval since the page's last update) —
+  /// the "previous update timestamp" estimate the multi-log paper uses.
+  /// Returns 0 for pages with no history.
+  double EstimateUpf(PageId page) const;
+
+  /// Fill factor in effect: live page bytes / shard device bytes.
+  double CurrentFillFactor() const;
+
+  /// Exhaustive cross-check of page table <-> segment entries <-> free
+  /// list <-> counters, restricted to pages this shard owns. O(device).
+  /// Returns the first inconsistency found.
+  Status CheckInvariants() const;
+
+ private:
+  // A page version being relocated by the cleaner.
+  struct MovedPage {
+    PageId page;
+    uint32_t bytes;
+    double up2;        // carried from the victim segment (§5.2.2)
+    double exact_upf;  // oracle value or 0
+    double est_upf;    // placement estimate at clean time
+  };
+
+  // Streams keep user data and cleaner output in different open segments.
+  static constexpr uint32_t kUserStream = 0;
+  static constexpr uint32_t kGcStream = 1;
+
+  // The up2 value of the current version of a page at `loc` (the
+  // containing segment's estimate, or the buffered value).
+  double CurrentUp2(const PageLocation& loc) const;
+
+  // Kills the old version of `page` at `loc` (segment entry or buffer
+  // slot) prior to rewriting it.
+  void KillOldVersion(PageId page, const PageLocation& loc);
+
+  Status FlushUserBuffer();
+
+  // Appends one page version to the open segment of the policy-chosen
+  // log. Updates the page table and stats.
+  Status PlacePage(PageId page, uint32_t bytes, double up2, double exact_upf,
+                   double est_upf, bool is_gc, bool dead_on_arrival = false);
+
+  // Returns the open segment for (log, stream), opening one if needed.
+  // Returns nullptr on out-of-space.
+  Segment* OpenSegmentFor(uint32_t log, uint32_t stream, bool is_gc,
+                          SegmentId* id_out);
+
+  void SealOpenSegment(uint32_t log, uint32_t stream);
+
+  // Pops a free segment, running the cleaner first if the pool is low.
+  SegmentId AllocateSegment(uint32_t log);
+
+  // Reads the live pages of `victims` into `moved` (recording clean-time
+  // emptiness), then resets the victims and returns them to the free
+  // pool. Returns the reclaimed (dead) bytes across the victims.
+  uint64_t HarvestVictims(const std::vector<SegmentId>& victims,
+                          std::vector<MovedPage>* moved);
+
+  // One cleaning invocation: repeatedly selects a victim batch, relocates
+  // live pages, and frees the victims, until the free pool is above the
+  // trigger or no progress is possible. Cleaning is entirely shard-local:
+  // victims, relocation targets and the policy all belong to this shard,
+  // so concurrent shards never contend on a victim.
+  Status Clean(uint32_t triggering_log);
+
+  static uint64_t OpenKey(uint32_t log, uint32_t stream) {
+    return (static_cast<uint64_t>(log) << 1) | stream;
+  }
+
+  StoreConfig config_;
+  std::unique_ptr<CleaningPolicy> policy_;
+  ExactFrequencyFn oracle_;
+
+  std::vector<Segment> segments_;
+  std::vector<SegmentId> free_list_;
+  std::unordered_map<uint64_t, SegmentId> open_segments_;  // OpenKey -> id
+
+  PageTable& table_;
+  WriteBuffer buffer_;
+  StoreStats stats_;
+
+  uint32_t shard_id_;
+  uint32_t num_shards_;
+
+  UpdateCount unow_ = 0;
+  bool cleaning_ = false;
+  Status sticky_error_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_CORE_STORE_SHARD_H_

@@ -1,7 +1,10 @@
 #include "workload/runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
+#include <thread>
 
 namespace lss {
 
@@ -12,6 +15,33 @@ RunResult Fail(Status s, const std::string& variant) {
   r.status = std::move(s);
   r.variant = variant;
   return r;
+}
+
+ParallelRunResult FailParallel(Status s, const std::string& variant,
+                               uint32_t threads, uint32_t shards) {
+  ParallelRunResult r;
+  r.result = Fail(std::move(s), variant);
+  r.threads = threads;
+  r.shards = shards;
+  return r;
+}
+
+// Runs fn(thread_id) on `threads` workers and returns the first non-OK
+// status. With one thread the call is inlined on the caller's thread, so
+// a threads == 1 run has no scheduling nondeterminism at all.
+Status RunOnThreads(uint32_t threads, const std::function<Status(uint32_t)>& fn) {
+  if (threads <= 1) return fn(0);
+  std::vector<Status> statuses(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&statuses, &fn, t] { statuses[t] = fn(t); });
+  }
+  for (std::thread& th : pool) th.join();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -83,6 +113,107 @@ RunResult RunSynthetic(const StoreConfig& config, Variant variant,
   r.measured_updates = store->stats().user_updates;
   r.effective_fill = store->CurrentFillFactor();
   return r;
+}
+
+ParallelRunResult RunSyntheticParallel(const StoreConfig& config,
+                                       Variant variant,
+                                       const WorkloadGenerator& workload,
+                                       const RunSpec& spec, uint32_t threads,
+                                       uint32_t shards) {
+  const std::string label = VariantName(variant);
+  if (threads < 1) threads = 1;
+  if (shards == 0) shards = threads;
+  StoreConfig cfg = config;
+  ApplyVariantConfig(variant, &cfg);
+
+  Status status;
+  auto store = ShardedStore::Create(
+      cfg, shards, [variant] { return MakePolicy(variant); }, &status);
+  if (store == nullptr) return FailParallel(status, label, threads, shards);
+
+  if (VariantNeedsOracle(variant)) {
+    store->SetExactFrequencyOracle(
+        [&workload](PageId p) { return workload.ExactFrequency(p); });
+  }
+
+  // Fill-factor sizing uses the *effective* device: Create drops the
+  // division remainder, so num_segments/shards*shards, not num_segments.
+  const uint64_t device_pages =
+      static_cast<uint64_t>(store->shard_config().num_segments) * shards *
+      store->shard_config().PagesPerSegment();
+  const uint64_t user_pages = std::min<uint64_t>(
+      workload.NumPages(),
+      static_cast<uint64_t>(spec.fill_factor *
+                            static_cast<double>(device_pages)));
+  if (user_pages < workload.NumPages()) {
+    return FailParallel(Status::InvalidArgument(
+                            "device too small for workload at this fill factor"),
+                        label, threads, shards);
+  }
+
+  // One RNG stream per thread; thread 0 uses the spec seed unchanged so a
+  // 1-thread run draws the exact sequence RunSynthetic would.
+  std::vector<Rng> rngs;
+  rngs.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    rngs.emplace_back(spec.seed + t * 0x9E3779B97F4A7C15ull);
+  }
+
+  // Load phase: first write of every page, contiguous ranges per thread.
+  Status s = RunOnThreads(threads, [&](uint32_t t) -> Status {
+    const PageId begin = user_pages * t / threads;
+    const PageId end = user_pages * (t + 1) / threads;
+    for (PageId p = begin; p < end; ++p) {
+      Status st = store->Write(p);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  });
+  if (!s.ok()) return FailParallel(s, label, threads, shards);
+
+  auto update_phase = [&](uint64_t total) {
+    return RunOnThreads(threads, [&](uint32_t t) -> Status {
+      const uint64_t begin = total * t / threads;
+      const uint64_t end = total * (t + 1) / threads;
+      Rng& rng = rngs[t];
+      for (uint64_t i = begin; i < end; ++i) {
+        Status st = store->Write(workload.NextPage(rng));
+        if (!st.ok()) return st;
+      }
+      return Status::OK();
+    });
+  };
+
+  const uint64_t warm = static_cast<uint64_t>(
+      spec.warmup_multiplier * static_cast<double>(user_pages));
+  s = update_phase(warm);
+  if (!s.ok()) return FailParallel(s, label, threads, shards);
+
+  store->ResetMeasurement();
+  const uint64_t measure = static_cast<uint64_t>(
+      spec.measure_multiplier * static_cast<double>(user_pages));
+  const auto t0 = std::chrono::steady_clock::now();
+  s = update_phase(measure);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!s.ok()) return FailParallel(s, label, threads, shards);
+
+  const StoreStats total = store->AggregatedStats();
+  ParallelRunResult pr;
+  pr.threads = threads;
+  pr.shards = shards;
+  pr.measure_seconds = std::chrono::duration<double>(t1 - t0).count();
+  pr.updates_per_second =
+      pr.measure_seconds > 0
+          ? static_cast<double>(total.user_updates) / pr.measure_seconds
+          : 0.0;
+  pr.shard_wamp = store->PerShardWriteAmplification();
+  pr.result.status = Status::OK();
+  pr.result.variant = label;
+  pr.result.wamp = total.WriteAmplification();
+  pr.result.mean_clean_emptiness = total.MeanCleanEmptiness();
+  pr.result.measured_updates = total.user_updates;
+  pr.result.effective_fill = store->CurrentFillFactor();
+  return pr;
 }
 
 RunResult RunTrace(const StoreConfig& config, Variant variant,

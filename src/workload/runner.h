@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/policy_factory.h"
+#include "core/sharded_store.h"
 #include "core/store.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
@@ -47,6 +49,35 @@ struct RunResult {
 /// drawn from `workload`. The store is destroyed on return.
 RunResult RunSynthetic(const StoreConfig& config, Variant variant,
                        const WorkloadGenerator& workload, const RunSpec& spec);
+
+/// Outcome of a parallel run over a ShardedStore.
+struct ParallelRunResult {
+  /// Aggregated view (status, write amplification, emptiness, fill),
+  /// merged across shards — same fields as a single-threaded run.
+  RunResult result;
+  uint32_t threads = 0;
+  uint32_t shards = 0;
+  /// Wall-clock seconds spent in the measurement phase.
+  double measure_seconds = 0.0;
+  /// Measured logical updates per wall-clock second across all threads.
+  double updates_per_second = 0.0;
+  /// Per-shard measured write amplification, indexed by shard id.
+  std::vector<double> shard_wamp;
+};
+
+/// Parallel counterpart of RunSynthetic: a ShardedStore with `shards`
+/// shards (0 means one per thread) hammered by `threads` worker threads.
+/// Each thread draws updates from `workload` with its own deterministic
+/// RNG stream (seed + thread id), so a run with threads == 1 and
+/// shards == 1 executes the exact update sequence of RunSynthetic and
+/// reproduces its write amplification bit-for-bit — the determinism the
+/// sharded-store tests pin down. The measurement phase is timed, giving
+/// the throughput numbers bench/scale_threads.cc sweeps.
+ParallelRunResult RunSyntheticParallel(const StoreConfig& config,
+                                       Variant variant,
+                                       const WorkloadGenerator& workload,
+                                       const RunSpec& spec, uint32_t threads,
+                                       uint32_t shards = 0);
 
 /// Replays `trace` through a store for `variant`. Records before
 /// `measure_from` (e.g. the population phase) run as warm-up; measurement

@@ -50,7 +50,7 @@ TEST(AgePolicyTest, PicksOldestSealedSegment) {
   WriteRange(store.get(), 0, 12);  // seals segments in write order
   AgePolicy policy;
   std::vector<SegmentId> victims;
-  policy.SelectVictims(*store, 0, 2, &victims);
+  policy.SelectVictims(store->shard(), 0, 2, &victims);
   ASSERT_EQ(victims.size(), 2u);
   // Victims must be the two earliest-sealed segments.
   const auto& segs = store->segments();
@@ -70,7 +70,7 @@ TEST(GreedyPolicyTest, PicksEmptiestSegment) {
   ASSERT_TRUE(store->Write(2).ok());
   GreedyPolicy policy;
   std::vector<SegmentId> victims;
-  policy.SelectVictims(*store, 0, 1, &victims);
+  policy.SelectVictims(store->shard(), 0, 1, &victims);
   ASSERT_EQ(victims.size(), 1u);
   const auto& segs = store->segments();
   for (SegmentId id = 0; id < segs.size(); ++id) {
@@ -90,7 +90,7 @@ TEST(CostBenefitPolicyTest, PrefersOldColdOverYoungEqualEmptiness) {
   WriteRange(store.get(), 100, 4);    // advance clock
   CostBenefitPolicy policy;
   std::vector<SegmentId> victims;
-  policy.SelectVictims(*store, 0, 1, &victims);
+  policy.SelectVictims(store->shard(), 0, 1, &victims);
   ASSERT_EQ(victims.size(), 1u);
   // The older of the two equally-empty segments wins on age.
   const auto& segs = store->segments();
@@ -112,7 +112,7 @@ TEST(CostBenefitPolicyTest, NeverPicksFullyLiveSegmentFirst) {
   ASSERT_TRUE(store->Write(0).ok());  // only segment 0 has a hole
   CostBenefitPolicy policy;
   std::vector<SegmentId> victims;
-  policy.SelectVictims(*store, 0, 1, &victims);
+  policy.SelectVictims(store->shard(), 0, 1, &victims);
   ASSERT_EQ(victims.size(), 1u);
   EXPECT_GT(store->segments()[victims[0]].Emptiness(), 0.0);
 }
@@ -124,7 +124,7 @@ TEST(MdcPolicyTest, FullyEmptySegmentCleanedFirst) {
   for (PageId p = 4; p < 8; ++p) ASSERT_TRUE(store->Write(p).ok());
   MdcPolicy policy;
   std::vector<SegmentId> victims;
-  policy.SelectVictims(*store, 0, 1, &victims);
+  policy.SelectVictims(store->shard(), 0, 1, &victims);
   ASSERT_EQ(victims.size(), 1u);
   EXPECT_DOUBLE_EQ(store->segments()[victims[0]].Emptiness(), 1.0);
 }
@@ -137,7 +137,7 @@ TEST(MdcPolicyTest, FullyLiveSegmentCleanedLast) {
   MdcPolicy policy;
   std::vector<SegmentId> victims;
   // Ask for all sealed victims; the fully-live ones must sort to the end.
-  policy.SelectVictims(*store, 0, 100, &victims);
+  policy.SelectVictims(store->shard(), 0, 100, &victims);
   ASSERT_GE(victims.size(), 3u);
   EXPECT_EQ(store->segments()[victims.back()].Emptiness(), 0.0);
   EXPECT_GT(store->segments()[victims.front()].Emptiness(), 0.0);
@@ -161,8 +161,8 @@ TEST(MdcPolicyTest, MatchesGreedyOrderUnderEqualFrequency) {
   MdcPolicy mdc(true);
   GreedyPolicy greedy;
   std::vector<SegmentId> mdc_victims, greedy_victims;
-  mdc.SelectVictims(*store, 0, 3, &mdc_victims);
-  greedy.SelectVictims(*store, 0, 3, &greedy_victims);
+  mdc.SelectVictims(store->shard(), 0, 3, &mdc_victims);
+  greedy.SelectVictims(store->shard(), 0, 3, &greedy_victims);
   ASSERT_EQ(mdc_victims.size(), 3u);
   // Compare by emptiness rank rather than id (ties may reorder ids).
   for (size_t i = 0; i < 3; ++i) {
@@ -185,7 +185,7 @@ TEST(MdcPolicyTest, ColderOfEqualEmptinessCleanedFirst) {
   ASSERT_TRUE(store->Write(4).ok());  // one hole in cold segment
   MdcPolicy policy(true);
   std::vector<SegmentId> victims;
-  policy.SelectVictims(*store, 0, 2, &victims);
+  policy.SelectVictims(store->shard(), 0, 2, &victims);
   ASSERT_EQ(victims.size(), 2u);
   // First victim: the cold segment (pages 5..7 live, upf 0.125).
   const Segment& first = store->segments()[victims[0]];
@@ -197,8 +197,8 @@ TEST(MultiLogPolicyTest, SingleLogWithoutHistory) {
   MultiLogPolicy policy;
   auto store = MakeStore(std::make_unique<MultiLogPolicy>());
   // Unknown frequency (first writes): everything goes to one log.
-  const uint32_t log0 = policy.PlacementLog(*store, 0, false, 0.0);
-  const uint32_t log1 = policy.PlacementLog(*store, 1, false, 0.0);
+  const uint32_t log0 = policy.PlacementLog(store->shard(), 0, false, 0.0);
+  const uint32_t log1 = policy.PlacementLog(store->shard(), 1, false, 0.0);
   EXPECT_EQ(log0, log1);
   EXPECT_EQ(policy.NumLogs(), 1u);
 }
@@ -206,21 +206,21 @@ TEST(MultiLogPolicyTest, SingleLogWithoutHistory) {
 TEST(MultiLogPolicyTest, DistinctBandsGetDistinctLogs) {
   MultiLogPolicy policy;
   auto store = MakeStore(std::make_unique<MultiLogPolicy>());
-  const uint32_t hot = policy.PlacementLog(*store, 0, false, 1.0 / 4.0);
-  const uint32_t cold = policy.PlacementLog(*store, 1, false, 1.0 / 4096.0);
+  const uint32_t hot = policy.PlacementLog(store->shard(), 0, false, 1.0 / 4.0);
+  const uint32_t cold = policy.PlacementLog(store->shard(), 1, false, 1.0 / 4096.0);
   EXPECT_NE(hot, cold);
   // Same band maps to the same log.
-  EXPECT_EQ(policy.PlacementLog(*store, 2, false, 1.0 / 5.0), hot);
+  EXPECT_EQ(policy.PlacementLog(store->shard(), 2, false, 1.0 / 5.0), hot);
 }
 
 TEST(MultiLogPolicyTest, LogCapFallsBackToNearestBand) {
   MultiLogPolicy policy(false, /*max_logs=*/2);
   auto store = MakeStore(std::make_unique<MultiLogPolicy>());
-  const uint32_t a = policy.PlacementLog(*store, 0, false, 1.0 / 2.0);
-  const uint32_t b = policy.PlacementLog(*store, 1, false, 1.0 / (1 << 20));
+  const uint32_t a = policy.PlacementLog(store->shard(), 0, false, 1.0 / 2.0);
+  const uint32_t b = policy.PlacementLog(store->shard(), 1, false, 1.0 / (1 << 20));
   EXPECT_EQ(policy.NumLogs(), 2u);
   // A third band must reuse one of the two existing logs.
-  const uint32_t c = policy.PlacementLog(*store, 2, false, 1.0 / (1 << 10));
+  const uint32_t c = policy.PlacementLog(store->shard(), 2, false, 1.0 / (1 << 10));
   EXPECT_TRUE(c == a || c == b);
   EXPECT_EQ(policy.NumLogs(), 2u);
 }
@@ -241,7 +241,7 @@ TEST(MultiLogPolicyTest, SelectsVictimFromOwnOrNeighbourLogs) {
   // Fill with first writes: all in the unknown-frequency log.
   for (PageId p = 0; p < 12; ++p) ASSERT_TRUE(store->Write(p).ok());
   std::vector<SegmentId> victims;
-  policy->SelectVictims(*store, /*triggering_log=*/0, 4, &victims);
+  policy->SelectVictims(store->shard(), /*triggering_log=*/0, 4, &victims);
   ASSERT_EQ(victims.size(), 1u);  // one at a time
   EXPECT_EQ(store->segments()[victims[0]].state(), SegmentState::kSealed);
 }
