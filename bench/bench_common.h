@@ -4,8 +4,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/config.h"
+#include "core/policy_factory.h"
 #include "workload/runner.h"
 
 namespace lss::bench {
@@ -32,6 +36,16 @@ inline StoreConfig DefaultConfig() {
   cfg.clean_trigger_segments = 4;
   cfg.clean_batch_segments = 16;
   cfg.write_buffer_segments = 16;
+  // LSS_BENCH_BACKEND=<spec> runs any bench over a real segment backend
+  // ("file:DIR", "file-nosync:DIR", "file-direct:DIR"; see
+  // ApplyBackendSpec). The default stays bookkeeping-only.
+  if (const char* spec = std::getenv("LSS_BENCH_BACKEND")) {
+    Status s = ApplyBackendSpec(spec, &cfg);
+    if (!s.ok()) {
+      std::fprintf(stderr, "LSS_BENCH_BACKEND: %s\n", s.ToString().c_str());
+      std::exit(2);
+    }
+  }
   return cfg;
 }
 
@@ -57,6 +71,114 @@ inline RunSpec DefaultSpec(double f, uint64_t seed = 42) {
   spec.measure_multiplier = 12;
   spec.seed = seed;
   return spec;
+}
+
+// --- Machine-readable results (LSS_BENCH_JSON) ------------------------
+//
+// Set LSS_BENCH_JSON=<path> and a bench writes its results to that file
+// as a JSON array of flat objects, one per measured cell, so the perf
+// trajectory can be tracked across PRs without scraping tables:
+//
+//   LSS_BENCH_JSON=fig5.json ./build/bench/fig5_synthetic
+//
+// A JsonRow is a flat string/number map; Emit() buffers it. The file is
+// written when the process exits (or when WriteJson runs explicitly).
+
+class JsonRow {
+ public:
+  explicit JsonRow(const std::string& bench) { Str("bench", bench); }
+
+  JsonRow& Str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonRow& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRow& Num(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += Quote(fields_[i].first) + ":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+namespace internal {
+inline std::vector<std::string>& JsonRows() {
+  static std::vector<std::string> rows;
+  return rows;
+}
+}  // namespace internal
+
+/// Writes all buffered rows to LSS_BENCH_JSON (no-op when unset).
+inline void WriteJson() {
+  const char* path = std::getenv("LSS_BENCH_JSON");
+  if (path == nullptr || internal::JsonRows().empty()) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "LSS_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fputs("[\n", f);
+  const auto& rows = internal::JsonRows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", rows[i].c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+}
+
+/// Buffers one result row and arranges for WriteJson at process exit.
+inline void Emit(const JsonRow& row) {
+  if (std::getenv("LSS_BENCH_JSON") == nullptr) return;
+  if (internal::JsonRows().empty()) std::atexit(WriteJson);
+  internal::JsonRows().push_back(row.ToJson());
+}
+
+/// Convenience: the standard columns of a synthetic run.
+inline void EmitRunResult(const std::string& bench,
+                          const std::string& workload, double fill,
+                          const RunResult& r) {
+  JsonRow row(bench);
+  row.Str("workload", workload)
+      .Str("variant", r.variant)
+      .Num("fill", fill)
+      .Num("wamp", r.wamp)
+      .Num("mean_clean_emptiness", r.mean_clean_emptiness)
+      .Num("measured_updates", r.measured_updates)
+      .Num("effective_fill", r.effective_fill);
+  if (r.device_bytes_written > 0) {
+    row.Num("device_bytes_written", r.device_bytes_written)
+        .Num("device_bytes_per_user_byte", r.device_bytes_per_user_byte)
+        .Num("device_seconds", r.device_seconds)
+        .Num("device_fsyncs", r.device_fsyncs);
+  }
+  Emit(row);
 }
 
 }  // namespace lss::bench

@@ -55,6 +55,7 @@ void Panel(const char* name,
         row.emplace_back("err");
       } else {
         row.emplace_back(r.wamp, 3);
+        bench::EmitRunResult("fig5_synthetic", name, f, r);
       }
     }
     table.AddRow(std::move(row));

@@ -116,6 +116,16 @@ void Run() {
     row.emplace_back(std::string(TablePrinter::Cell(100.0 * spread, 1).text) +
                      "%");
     table.AddRow(std::move(row));
+    bench::Emit(bench::JsonRow("scale_threads")
+                    .Num("threads", static_cast<uint64_t>(threads))
+                    .Num("shards", static_cast<uint64_t>(shards))
+                    .Num("measure_seconds", r.measure_seconds)
+                    .Num("updates_per_second", r.updates_per_second)
+                    .Num("wamp", r.result.wamp)
+                    .Num("baseline_wamp", baseline.wamp)
+                    .Num("shard_wamp_min", wmin)
+                    .Num("shard_wamp_max", wmax)
+                    .Num("spread_vs_baseline", spread));
   }
   table.Print(stdout);
   std::printf(

@@ -4,24 +4,34 @@
 # This mirrors .github/workflows/ci.yml exactly; if this passes locally,
 # CI should be green.
 #
-# Usage: scripts/check.sh [--tsan] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan] [build-dir]
 #   default:  full build + full test suite in ./build
 #   --tsan:   rebuild with -fsanitize=thread in ./build-tsan (or the given
 #             build dir) and run the concurrency test suites under
 #             ThreadSanitizer — the data-race gate for ShardedStore and
 #             the striped PageTable.
+#   --asan:   rebuild with -fsanitize=address,undefined in ./build-asan
+#             (or the given build dir) and run the FULL test suite — the
+#             memory-safety gate for the raw-I/O backend (pwrite buffers,
+#             recovery scans, O_DIRECT alignment) and everything else.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TSAN=0
+ASAN=0
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
+  shift
+elif [[ "${1:-}" == "--asan" ]]; then
+  ASAN=1
   shift
 fi
 
 if [[ $TSAN -eq 1 ]]; then
   BUILD_DIR="${1:-build-tsan}"
+elif [[ $ASAN -eq 1 ]]; then
+  BUILD_DIR="${1:-build-asan}"
 else
   BUILD_DIR="${1:-build}"
 fi
@@ -39,6 +49,17 @@ if [[ $TSAN -eq 1 ]]; then
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
       -R 'Sharded|PageTableConcurrency|Parallel'
   echo "check.sh: tsan green"
+  exit 0
+fi
+
+if [[ $ASAN -eq 1 ]]; then
+  cmake -B "$BUILD_DIR" -S . -DLSS_ASAN=ON \
+    -DLSS_BUILD_BENCHES=OFF -DLSS_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  # abort_on_error turns any leak/overflow/UB report into a test failure.
+  ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  echo "check.sh: asan green"
   exit 0
 fi
 

@@ -98,8 +98,12 @@ void NodeView::InsertLeaf(uint16_t slot, std::string_view key,
   const uint16_t off = AllocCell(slot, static_cast<uint16_t>(bytes));
   Store16(off, static_cast<uint16_t>(key.size()));
   Store16(off + 2, static_cast<uint16_t>(value.size()));
-  std::memcpy(d_ + off + 4, key.data(), key.size());
-  std::memcpy(d_ + off + 4 + key.size(), value.data(), value.size());
+  // Empty keys/values carry a null data(); memcpy requires non-null even
+  // for zero-length copies.
+  if (!key.empty()) std::memcpy(d_ + off + 4, key.data(), key.size());
+  if (!value.empty()) {
+    std::memcpy(d_ + off + 4 + key.size(), value.data(), value.size());
+  }
 }
 
 void NodeView::InsertInternal(uint16_t slot, std::string_view key,
@@ -109,15 +113,17 @@ void NodeView::InsertInternal(uint16_t slot, std::string_view key,
   const uint16_t off = AllocCell(slot, static_cast<uint16_t>(bytes));
   Store16(off, static_cast<uint16_t>(key.size()));
   Store32(off + 2, child);
-  std::memcpy(d_ + off + 6, key.data(), key.size());
+  if (!key.empty()) std::memcpy(d_ + off + 6, key.data(), key.size());
 }
 
 void NodeView::UpdateLeafValue(uint16_t slot, std::string_view value) {
   assert(IsLeaf());
   const std::string_view old = Value(slot);
   if (old.size() == value.size()) {
-    std::memcpy(d_ + SlotOffset(slot) + 4 + Key(slot).size(), value.data(),
-                value.size());
+    if (!value.empty()) {
+      std::memcpy(d_ + SlotOffset(slot) + 4 + Key(slot).size(), value.data(),
+                  value.size());
+    }
     return;
   }
   // Size change: remove and re-insert (key copied out first).

@@ -2,10 +2,22 @@
 #define LSS_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/types.h"
 
 namespace lss {
+
+/// Which persistence backend a store runs its segments on (see
+/// core/io_backend.h). kNull is the paper's simulator: segment writes
+/// are counted but never performed. kFile gives every shard its own
+/// segment file pair so write-amplification predictions can be compared
+/// against real device traffic, and lets a store survive process
+/// restart (LogStructuredStore::Open / ShardedStore::Open).
+enum class BackendKind : uint8_t {
+  kNull,
+  kFile,
+};
 
 /// Configuration of a LogStructuredStore.
 ///
@@ -51,6 +63,20 @@ struct StoreConfig {
   /// denominator (noticeable in the Figure 4 buffer sweep).
   bool absorb_buffered_rewrites = false;
 
+  /// Persistence backend for sealed segments. The default keeps the
+  /// simulator bookkeeping-only; kFile performs real pwrite/fsync I/O.
+  BackendKind backend = BackendKind::kNull;
+  /// Directory holding the per-shard segment files (kFile only). Must
+  /// exist and be writable.
+  std::string backend_dir;
+  /// fsync data + metadata after each segment seal (kFile only). Off
+  /// trades durability for speed, like a drive write cache.
+  bool backend_fsync = true;
+  /// Open the payload file with O_DIRECT, bypassing the page cache so
+  /// device-byte measurements reflect media traffic (kFile only;
+  /// requires segment_bytes to be a multiple of 4 KiB).
+  bool backend_direct_io = false;
+
   /// Total physical page frames of `page_bytes` size.
   uint64_t PhysicalPages() const {
     return static_cast<uint64_t>(num_segments) *
@@ -91,6 +117,18 @@ struct StoreConfig {
     if (clean_trigger_segments >= num_segments / 2) {
       return Status::InvalidArgument(
           "clean trigger too large for device size");
+    }
+    if (backend == BackendKind::kFile && backend_dir.empty()) {
+      return Status::InvalidArgument(
+          "file backend requires backend_dir");
+    }
+    if (backend == BackendKind::kNull && backend_direct_io) {
+      return Status::InvalidArgument(
+          "backend_direct_io requires the file backend");
+    }
+    if (backend_direct_io && segment_bytes % 4096 != 0) {
+      return Status::InvalidArgument(
+          "backend_direct_io requires 4 KiB-aligned segments");
     }
     return Status::OK();
   }

@@ -1,0 +1,760 @@
+#include "core/io_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+
+namespace lss {
+
+void FillPagePayload(PageId page, uint32_t bytes, uint8_t* out) {
+  uint64_t word_index = 0;
+  uint32_t off = 0;
+  while (off + 8 <= bytes) {
+    const uint64_t w = PagePatternWord(page, word_index++);
+    std::memcpy(out + off, &w, 8);
+    off += 8;
+  }
+  if (off < bytes) {
+    const uint64_t w = PagePatternWord(page, word_index);
+    std::memcpy(out + off, &w, bytes - off);
+  }
+}
+
+bool VerifyPagePayload(PageId page, uint32_t bytes, const uint8_t* data) {
+  uint64_t word_index = 0;
+  uint32_t off = 0;
+  while (off + 8 <= bytes) {
+    const uint64_t w = PagePatternWord(page, word_index++);
+    if (std::memcmp(data + off, &w, 8) != 0) return false;
+    off += 8;
+  }
+  if (off < bytes) {
+    const uint64_t w = PagePatternWord(page, word_index);
+    if (std::memcmp(data + off, &w, bytes - off) != 0) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<SegmentBackend> MakeBackend(const StoreConfig& config) {
+  switch (config.backend) {
+    case BackendKind::kNull:
+      return std::make_unique<NullBackend>();
+    case BackendKind::kFile:
+      return std::make_unique<FileBackend>();
+  }
+  return std::make_unique<NullBackend>();
+}
+
+Status ValidateReopenConfig(const StoreConfig& config) {
+  if (config.backend == BackendKind::kNull) {
+    return Status::InvalidArgument(
+        "reopen requires a durable backend (the null backend persists "
+        "nothing)");
+  }
+  return Status::OK();
+}
+
+#ifdef _WIN32
+
+// The file backend is POSIX-only for now; the interface compiles
+// everywhere so the rest of the store stays portable.
+FileBackend::~FileBackend() {}
+Status FileBackend::Open(const StoreConfig&, uint32_t, uint32_t, StoreStats*,
+                         bool) {
+  return Status::InvalidArgument("file backend requires a POSIX platform");
+}
+Status FileBackend::SealSegment(const BackendSegmentRecord&) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::ReclaimSegment(SegmentId, UpdateCount) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::RecordDelete(PageId, uint64_t, UpdateCount) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::ReadPagePayload(SegmentId, uint64_t, PageId, uint32_t,
+                                    std::vector<uint8_t>*) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::Scan(BackendRecovery*) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::Close() { return Status::OK(); }
+std::string FileBackend::DataPath(const std::string& dir, uint32_t shard_id) {
+  (void)shard_id;
+  return dir;
+}
+std::string FileBackend::MetaPath(const std::string& dir, uint32_t shard_id) {
+  (void)shard_id;
+  return dir;
+}
+
+#else  // POSIX
+
+namespace {
+
+// Binary metadata-log format. Records are appended in operation order
+// and replayed front to back by Scan; a truncated tail (crash mid
+// append) simply ends the replay. All fields are fixed-width and the
+// structs are laid out padding-free, so a record written on one run
+// reads back identically on the next (same-machine durability, which is
+// all a per-shard segment file can promise anyway).
+constexpr uint32_t kMetaMagic = 0x4C535331;  // "LSS1"
+
+enum MetaType : uint16_t {
+  kMetaSeal = 1,
+  kMetaFree = 2,
+  kMetaDelete = 3,
+  kMetaGeometry = 4,
+};
+
+struct MetaHeader {
+  uint32_t magic;
+  uint16_t type;
+  uint16_t reserved;
+  uint64_t body_len;
+  /// FNV-1a over (type, body_len, body). Detects torn records — a seal
+  /// record spans pages and unordered writeback can persist a valid
+  /// header whose entry tail never reached the device.
+  uint64_t checksum;
+};
+static_assert(sizeof(MetaHeader) == 24, "MetaHeader must pack to 24 bytes");
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+uint64_t RecordChecksum(uint16_t type, const void* body, uint64_t body_len) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  h = Fnv1a(h, &type, sizeof(type));
+  h = Fnv1a(h, &body_len, sizeof(body_len));
+  return Fnv1a(h, body, body_len);
+}
+
+struct SealBody {
+  uint32_t segment_id;
+  uint32_t log;
+  uint64_t source;  // SegmentSource widened for alignment
+  uint64_t open_time;
+  uint64_t seal_time;
+  uint64_t unow;
+  uint64_t entry_count;
+};
+static_assert(sizeof(SealBody) == 48, "SealBody must pack to 48 bytes");
+
+struct EntryRec {
+  uint64_t page;
+  uint32_t bytes;
+  uint32_t reserved;
+  uint64_t seq;
+  uint64_t last_update;
+  double up2;
+  double exact_upf;
+};
+static_assert(sizeof(EntryRec) == 48, "EntryRec must pack to 48 bytes");
+
+struct FreeBody {
+  uint32_t segment_id;
+  uint32_t reserved;
+  uint64_t unow;
+};
+static_assert(sizeof(FreeBody) == 16, "FreeBody must pack to 16 bytes");
+
+struct DeleteBody {
+  uint64_t page;
+  uint64_t seq;
+  uint64_t unow;
+};
+static_assert(sizeof(DeleteBody) == 24, "DeleteBody must pack to 24 bytes");
+
+// Written once, first, at create time; recovery refuses a file whose
+// geometry does not match the reopening store (different shard count,
+// segment size or device size silently corrupts page routing).
+struct GeometryBody {
+  uint32_t shard_id;
+  uint32_t num_shards;
+  uint32_t num_segments;
+  uint32_t segment_bytes;
+  uint32_t page_bytes;
+  uint32_t reserved;
+};
+static_assert(sizeof(GeometryBody) == 24, "GeometryBody must pack to 24 bytes");
+
+// Serialises one checksummed metadata record (header + body).
+std::vector<uint8_t> BuildRecord(uint16_t type, const void* body,
+                                 uint64_t body_len) {
+  std::vector<uint8_t> rec(sizeof(MetaHeader) + body_len);
+  MetaHeader hdr{kMetaMagic, type, 0, body_len,
+                 RecordChecksum(type, body, body_len)};
+  std::memcpy(rec.data(), &hdr, sizeof(hdr));
+  std::memcpy(rec.data() + sizeof(hdr), body, body_len);
+  return rec;
+}
+
+// ENOSPC is the device's out-of-space, the same condition the simulator
+// reports when cleaning cannot reclaim room; everything else is an
+// environment failure the caller cannot reason about.
+Status ErrnoStatus(const char* what, int err) {
+  const std::string msg =
+      std::string(what) + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) return Status::OutOfSpace(msg);
+  return Status::Corruption(msg);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Full-length pwrite (retries partial writes and EINTR).
+Status PwriteAll(int fd, const void* data, size_t len, uint64_t offset) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite", errno);
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PreadAll(int fd, void* data, size_t len, uint64_t offset) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", errno);
+    }
+    if (n == 0) return Status::Corruption("pread: unexpected end of file");
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FileBackend::~FileBackend() { Close(); }
+
+std::string FileBackend::DataPath(const std::string& dir, uint32_t shard_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/shard-%04u.dat", shard_id);
+  return dir + name;
+}
+
+std::string FileBackend::MetaPath(const std::string& dir, uint32_t shard_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/shard-%04u.meta", shard_id);
+  return dir + name;
+}
+
+Status FileBackend::Open(const StoreConfig& config, uint32_t shard_id,
+                         uint32_t num_shards, StoreStats* stats,
+                         bool recover) {
+  if (data_fd_ >= 0) return Status::InvalidArgument("backend already open");
+  config_ = config;
+  stats_ = stats;
+  shard_id_ = shard_id;
+  num_shards_ = num_shards;
+  const std::string data_path = DataPath(config.backend_dir, shard_id);
+  const std::string meta_path = MetaPath(config.backend_dir, shard_id);
+
+  int flags = O_RDWR;
+  if (recover) {
+    // Reopen requires the files a previous run left behind.
+    struct stat st;
+    if (::stat(data_path.c_str(), &st) != 0 ||
+        ::stat(meta_path.c_str(), &st) != 0) {
+      return Status::NotFound("no durable state to recover in " +
+                              config.backend_dir);
+    }
+  } else {
+    flags |= O_CREAT | O_TRUNC;
+  }
+
+  direct_io_ = config.backend_direct_io;
+  int data_flags = flags;
+#ifdef O_DIRECT
+  if (direct_io_) data_flags |= O_DIRECT;
+#endif
+  data_fd_ = ::open(data_path.c_str(), data_flags, 0644);
+  if (data_fd_ < 0 && direct_io_ && (errno == EINVAL || errno == EOPNOTSUPP)) {
+    // Filesystem refuses O_DIRECT (e.g. tmpfs): fall back to buffered.
+    direct_io_ = false;
+    data_fd_ = ::open(data_path.c_str(), flags, 0644);
+  }
+  if (data_fd_ < 0) return ErrnoStatus("open data file", errno);
+#ifndef O_DIRECT
+  direct_io_ = false;
+#endif
+
+  if (direct_io_) {
+    // Page reads are sub-segment and unaligned; give them a buffered fd.
+    read_fd_ = ::open(data_path.c_str(), O_RDONLY);
+    if (read_fd_ < 0) {
+      const Status s = ErrnoStatus("open data file for reads", errno);
+      Close();
+      return s;
+    }
+  }
+
+  meta_fd_ = ::open(meta_path.c_str(), flags, 0644);
+  if (meta_fd_ < 0) {
+    const Status s = ErrnoStatus("open meta file", errno);
+    Close();
+    return s;
+  }
+
+  if (!recover) {
+    // Reserve the full payload extent so slot offsets are always valid.
+    const uint64_t extent = static_cast<uint64_t>(config.num_segments) *
+                            config.segment_bytes;
+    if (::ftruncate(data_fd_, static_cast<off_t>(extent)) != 0) {
+      const Status s = ErrnoStatus("ftruncate data file", errno);
+      Close();
+      return s;
+    }
+    meta_offset_ = 0;
+  } else {
+    struct stat st;
+    if (::fstat(meta_fd_, &st) != 0) {
+      const Status s = ErrnoStatus("fstat meta file", errno);
+      Close();
+      return s;
+    }
+    meta_offset_ = static_cast<uint64_t>(st.st_size);
+  }
+
+  // One whole-segment write buffer, page-aligned for O_DIRECT.
+  void* buf = nullptr;
+  if (::posix_memalign(&buf, 4096, config.segment_bytes) != 0) {
+    Close();
+    return Status::Corruption("posix_memalign failed");
+  }
+  payload_buf_ = static_cast<uint8_t*>(buf);
+
+  if (!recover) {
+    // First record: the geometry fingerprint recovery validates against.
+    GeometryBody body{shard_id_,           num_shards_,
+                      config_.num_segments, config_.segment_bytes,
+                      config_.page_bytes,   0};
+    const std::vector<uint8_t> rec =
+        BuildRecord(kMetaGeometry, &body, sizeof(body));
+    Status s = AppendMeta(rec.data(), rec.size());
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status FileBackend::AppendMeta(const void* data, size_t len) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = PwriteAll(meta_fd_, data, len, meta_offset_);
+  if (!s.ok()) return s;
+  meta_offset_ += len;
+  if (stats_ != nullptr) {
+    stats_->device_bytes_written += len;
+    stats_->device_write_ops += 1;
+    stats_->device_write_seconds += SecondsSince(t0);
+  }
+  return Status::OK();
+}
+
+Status FileBackend::SyncBoth() {
+  if (!config_.backend_fsync) return Status::OK();
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t synced = 0;
+  if (data_fd_ >= 0) {
+    if (::fsync(data_fd_) != 0) return ErrnoStatus("fsync data file", errno);
+    ++synced;
+  }
+  if (meta_fd_ >= 0) {
+    if (::fsync(meta_fd_) != 0) return ErrnoStatus("fsync meta file", errno);
+    ++synced;
+  }
+  if (stats_ != nullptr && synced > 0) {
+    stats_->device_fsyncs += synced;
+    stats_->device_fsync_seconds += SecondsSince(t0);
+  }
+  return Status::OK();
+}
+
+// Reclaimed segments drain in two stages so the *punch* can never
+// destroy payload the durable metadata still references (the caller is
+// responsible for the complementary ordering: StoreShard withholds
+// ReclaimSegment until the victim's relocated pages are in sealed
+// segments, so the free record cannot erase the only durable copy):
+//   stage 1  the free record is appended to the metadata log — ordered
+//            *before* the seal record being written now, so a reclaimed
+//            slot that was reallocated and resealed replays correctly;
+//   stage 2  only after an fsync has made the free record durable is the
+//            payload slot hole-punched (a punch is journalled by the
+//            filesystem independently of our unsynced appends, so
+//            punching earlier could leave a durable seal record pointing
+//            at vanished payload).
+// A pending punch for a slot the new seal overwrites is dropped — the
+// fresh payload replaces the old bytes anyway.
+Status FileBackend::DrainReclaims(bool punching_allowed) {
+  for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.record_durable) continue;
+    FreeBody body{pr.id, 0, pr.unow};
+    const std::vector<uint8_t> rec = BuildRecord(kMetaFree, &body, sizeof(body));
+    Status s = AppendMeta(rec.data(), rec.size());
+    if (!s.ok()) return s;
+    // With fsync off we make no crash promises; treat appended as done.
+    if (!config_.backend_fsync) pr.record_durable = true;
+  }
+  if (!punching_allowed) return Status::OK();
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_reclaims_.size(); ++i) {
+    PendingReclaim& pr = pending_reclaims_[i];
+    if (!pr.record_durable) {
+      pending_reclaims_[kept++] = pr;
+      continue;
+    }
+#ifdef FALLOC_FL_PUNCH_HOLE
+    // Filesystems without hole support just skip the punch — the free
+    // record is what actually reclaims the segment.
+    if (pr.punch &&
+        ::fallocate(data_fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                    static_cast<off_t>(static_cast<uint64_t>(pr.id) *
+                                       config_.segment_bytes),
+                    static_cast<off_t>(config_.segment_bytes)) == 0) {
+      if (stats_ != nullptr) {
+        stats_->device_bytes_punched += config_.segment_bytes;
+      }
+    }
+#endif
+  }
+  pending_reclaims_.resize(kept);
+  return Status::OK();
+}
+
+Status FileBackend::SealSegment(const BackendSegmentRecord& record) {
+  if (data_fd_ < 0) return Status::InvalidArgument("backend not open");
+  if (record.id >= config_.num_segments) {
+    return Status::InvalidArgument("seal: segment id out of range");
+  }
+
+  // A punch pending against the slot we are about to rewrite would
+  // destroy the new payload; the overwrite supersedes it.
+  for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.id == record.id) pr.punch = false;
+  }
+  // Stage-1 drain: free records land before this seal record.
+  Status s = DrainReclaims(/*punching_allowed=*/false);
+  if (!s.ok()) return s;
+
+  // Payload: live entries carry the deterministic pattern, dead entries
+  // and the unused tail are zero-filled. One pwrite covers the slot.
+  uint64_t cursor = 0;
+  for (const Segment::Entry& e : record.entries) {
+    if (cursor + e.bytes > config_.segment_bytes) {
+      return Status::Corruption("seal: entries overflow segment capacity");
+    }
+    if (e.page != kInvalidPage) {
+      FillPagePayload(e.page, e.bytes, payload_buf_ + cursor);
+    } else {
+      std::memset(payload_buf_ + cursor, 0, e.bytes);
+    }
+    cursor += e.bytes;
+  }
+  std::memset(payload_buf_ + cursor, 0, config_.segment_bytes - cursor);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  s = PwriteAll(data_fd_, payload_buf_, config_.segment_bytes,
+                static_cast<uint64_t>(record.id) * config_.segment_bytes);
+  if (!s.ok()) return s;
+  if (stats_ != nullptr) {
+    stats_->device_bytes_written += config_.segment_bytes;
+    stats_->device_write_ops += 1;
+    stats_->device_write_seconds += SecondsSince(t0);
+  }
+
+  // Metadata record: body + entry array, checksummed as one record.
+  std::vector<uint8_t> meta_body(sizeof(SealBody) +
+                                 record.entries.size() * sizeof(EntryRec));
+  SealBody body{};
+  body.segment_id = record.id;
+  body.log = record.log;
+  body.source = static_cast<uint64_t>(record.source);
+  body.open_time = record.open_time;
+  body.seal_time = record.seal_time;
+  body.unow = record.unow;
+  body.entry_count = record.entries.size();
+  std::memcpy(meta_body.data(), &body, sizeof(body));
+  uint8_t* p = meta_body.data() + sizeof(body);
+  for (const Segment::Entry& e : record.entries) {
+    EntryRec er{};
+    er.page = e.page;
+    er.bytes = e.bytes;
+    er.seq = e.seq;
+    er.last_update = e.last_update;
+    er.up2 = e.up2;
+    er.exact_upf = e.exact_upf;
+    std::memcpy(p, &er, sizeof(er));
+    p += sizeof(er);
+  }
+  const std::vector<uint8_t> rec =
+      BuildRecord(kMetaSeal, meta_body.data(), meta_body.size());
+  s = AppendMeta(rec.data(), rec.size());
+  if (!s.ok()) return s;
+  s = SyncBoth();
+  if (!s.ok()) return s;
+  // Everything appended so far — including the stage-1 free records —
+  // is now durable; stage-2 punches are safe.
+  for (PendingReclaim& pr : pending_reclaims_) pr.record_durable = true;
+  return DrainReclaims(/*punching_allowed=*/true);
+}
+
+Status FileBackend::ReclaimSegment(SegmentId id, UpdateCount unow) {
+  if (data_fd_ < 0) return Status::InvalidArgument("backend not open");
+  if (id >= config_.num_segments) {
+    return Status::InvalidArgument("reclaim: segment id out of range");
+  }
+  // Deferred: the free record and the hole punch happen on the next
+  // seal/close (see DrainReclaims). Losing a queued reclaim to a crash
+  // is benign — recovery sees the victim still sealed, and its stale
+  // entries lose newest-wins to the relocated copies, or faithfully
+  // restore the pre-clean state if those copies' seal was lost too.
+  pending_reclaims_.push_back(PendingReclaim{id, unow, false, true});
+  return Status::OK();
+}
+
+Status FileBackend::RecordDelete(PageId page, uint64_t seq, UpdateCount unow) {
+  if (meta_fd_ < 0) return Status::InvalidArgument("backend not open");
+  DeleteBody body{page, seq, unow};
+  const std::vector<uint8_t> rec = BuildRecord(kMetaDelete, &body, sizeof(body));
+  Status s = AppendMeta(rec.data(), rec.size());
+  if (!s.ok()) return s;
+  // In fsync mode an acknowledged delete must survive a crash, exactly
+  // like an acknowledged seal; only the metadata log needs syncing. (A
+  // lost *reclaim* record, by contrast, is benign: recovery then sees
+  // the victim still sealed, and its stale entries lose newest-wins to
+  // the relocated copies — or faithfully restore the pre-clean state if
+  // those copies' seal was lost too.)
+  if (config_.backend_fsync) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (::fsync(meta_fd_) != 0) return ErrnoStatus("fsync meta file", errno);
+    if (stats_ != nullptr) {
+      stats_->device_fsyncs += 1;
+      stats_->device_fsync_seconds += SecondsSince(t0);
+    }
+  }
+  return Status::OK();
+}
+
+Status FileBackend::ReadPagePayload(SegmentId id, uint64_t offset, PageId page,
+                                    uint32_t bytes, std::vector<uint8_t>* out) {
+  if (read_fd_ < 0 && data_fd_ < 0) {
+    return Status::InvalidArgument("backend not open");
+  }
+  if (id >= config_.num_segments ||
+      offset + bytes > config_.segment_bytes) {
+    return Status::InvalidArgument("read: location out of range");
+  }
+  // Reads go through the buffered fd: page reads are sub-segment and
+  // unaligned, which O_DIRECT rejects.
+  const int fd = read_fd_ >= 0 ? read_fd_ : data_fd_;
+  out->resize(bytes);
+  Status s = PreadAll(fd, out->data(), bytes,
+                      static_cast<uint64_t>(id) * config_.segment_bytes +
+                          offset);
+  if (!s.ok()) return s;
+  if (!VerifyPagePayload(page, bytes, out->data())) {
+    return Status::Corruption("read: payload does not match page pattern");
+  }
+  return Status::OK();
+}
+
+Status FileBackend::Scan(BackendRecovery* out) {
+  if (meta_fd_ < 0) return Status::InvalidArgument("backend not open");
+  *out = BackendRecovery{};
+
+  struct stat st;
+  if (::fstat(meta_fd_, &st) != 0) return ErrnoStatus("fstat meta", errno);
+  std::vector<uint8_t> log(static_cast<size_t>(st.st_size));
+  if (!log.empty()) {
+    Status s = PreadAll(meta_fd_, log.data(), log.size(), 0);
+    if (!s.ok()) return s;
+  }
+
+  // The log must lead with a geometry record matching the reopening
+  // store, or recovery would silently misroute pages.
+  {
+    if (log.size() < sizeof(MetaHeader) + sizeof(GeometryBody)) {
+      return Status::Corruption("recovery: metadata log has no geometry");
+    }
+    MetaHeader hdr;
+    std::memcpy(&hdr, log.data(), sizeof(hdr));
+    if (hdr.magic != kMetaMagic || hdr.type != kMetaGeometry ||
+        hdr.body_len != sizeof(GeometryBody) ||
+        hdr.checksum != RecordChecksum(hdr.type, log.data() + sizeof(hdr),
+                                       hdr.body_len)) {
+      return Status::Corruption("recovery: metadata log has no geometry");
+    }
+    GeometryBody gb;
+    std::memcpy(&gb, log.data() + sizeof(hdr), sizeof(gb));
+    if (gb.shard_id != shard_id_ || gb.num_shards != num_shards_ ||
+        gb.num_segments != config_.num_segments ||
+        gb.segment_bytes != config_.segment_bytes ||
+        gb.page_bytes != config_.page_bytes) {
+      return Status::Corruption(
+          "recovery: store geometry mismatch (created with " +
+          std::to_string(gb.num_shards) + " shards, " +
+          std::to_string(gb.num_segments) + " segments of " +
+          std::to_string(gb.segment_bytes) + " bytes)");
+    }
+  }
+
+  // Replay: the latest record per segment wins. Replay stops at the
+  // first bad record (missing magic, impossible length, checksum
+  // mismatch) — the standard WAL rule: a torn tail is expected after a
+  // crash, and nothing after a corrupt record can be trusted because
+  // replay is order-sensitive.
+  std::vector<int64_t> latest_seal(config_.num_segments, -1);
+  std::vector<BackendSegmentRecord> seals;
+  size_t off = 0;
+  uint64_t valid_end = 0;
+  while (off + sizeof(MetaHeader) <= log.size()) {
+    MetaHeader hdr;
+    std::memcpy(&hdr, log.data() + off, sizeof(hdr));
+    if (hdr.magic != kMetaMagic) break;
+    // Overflow-safe bounds check: a corrupt body_len must truncate the
+    // replay, not wrap the sum past log.size().
+    if (hdr.body_len > log.size() - off - sizeof(hdr)) break;
+    const uint8_t* body = log.data() + off + sizeof(hdr);
+    // Torn-write detection: unordered page writeback can persist a valid
+    // header whose body tail never reached the device.
+    if (hdr.checksum != RecordChecksum(hdr.type, body, hdr.body_len)) break;
+    if (hdr.type == kMetaSeal) {
+      if (hdr.body_len < sizeof(SealBody)) break;
+      SealBody sb;
+      std::memcpy(&sb, body, sizeof(sb));
+      if (sb.entry_count > (hdr.body_len - sizeof(SealBody)) / sizeof(EntryRec))
+        break;
+      if (hdr.body_len != sizeof(SealBody) + sb.entry_count * sizeof(EntryRec))
+        break;
+      if (sb.segment_id >= config_.num_segments) break;
+      BackendSegmentRecord rec;
+      rec.id = sb.segment_id;
+      rec.log = sb.log;
+      rec.source = static_cast<SegmentSource>(sb.source);
+      rec.open_time = sb.open_time;
+      rec.seal_time = sb.seal_time;
+      rec.unow = sb.unow;
+      rec.entries.reserve(sb.entry_count);
+      const uint8_t* ep = body + sizeof(sb);
+      for (uint64_t i = 0; i < sb.entry_count; ++i) {
+        EntryRec er;
+        std::memcpy(&er, ep + i * sizeof(er), sizeof(er));
+        Segment::Entry e;
+        e.page = er.page;
+        e.bytes = er.bytes;
+        e.seq = er.seq;
+        e.last_update = er.last_update;
+        e.up2 = er.up2;
+        e.exact_upf = er.exact_upf;
+        out->max_seq = std::max(out->max_seq, e.seq);
+        rec.entries.push_back(e);
+      }
+      out->unow = std::max(out->unow, sb.unow);
+      latest_seal[sb.segment_id] = static_cast<int64_t>(seals.size());
+      seals.push_back(std::move(rec));
+    } else if (hdr.type == kMetaFree) {
+      if (hdr.body_len != sizeof(FreeBody)) break;
+      FreeBody fb;
+      std::memcpy(&fb, body, sizeof(fb));
+      if (fb.segment_id >= config_.num_segments) break;
+      latest_seal[fb.segment_id] = -1;
+      out->unow = std::max(out->unow, fb.unow);
+    } else if (hdr.type == kMetaDelete) {
+      if (hdr.body_len != sizeof(DeleteBody)) break;
+      DeleteBody db;
+      std::memcpy(&db, body, sizeof(db));
+      out->deletes.emplace_back(db.page, db.seq);
+      out->max_seq = std::max(out->max_seq, db.seq);
+      out->unow = std::max(out->unow, db.unow);
+    } else if (hdr.type == kMetaGeometry) {
+      // Validated above; nothing to replay.
+    } else {
+      break;
+    }
+    off += sizeof(hdr) + hdr.body_len;
+    valid_end = off;
+  }
+
+  for (SegmentId id = 0; id < config_.num_segments; ++id) {
+    if (latest_seal[id] >= 0) {
+      out->segments.push_back(std::move(seals[latest_seal[id]]));
+    }
+  }
+  // Future appends continue after the last whole record. The truncated
+  // tail is cut off the file, not just skipped: stale bytes past the new
+  // append position could otherwise be misparsed as records by the
+  // *next* recovery once fresh appends stop short of them.
+  meta_offset_ = valid_end;
+  if (valid_end < log.size() &&
+      ::ftruncate(meta_fd_, static_cast<off_t>(valid_end)) != 0) {
+    return ErrnoStatus("ftruncate meta tail", errno);
+  }
+  return Status::OK();
+}
+
+Status FileBackend::Close() {
+  Status result = Status::OK();
+  if (data_fd_ >= 0 && meta_fd_ >= 0) {
+    // Flush queued reclaims: records first, sync, then punches.
+    result = DrainReclaims(/*punching_allowed=*/false);
+    if (result.ok()) result = SyncBoth();
+    if (result.ok()) {
+      for (PendingReclaim& pr : pending_reclaims_) pr.record_durable = true;
+      result = DrainReclaims(/*punching_allowed=*/true);
+    }
+  } else if (data_fd_ >= 0 || meta_fd_ >= 0) {
+    result = SyncBoth();
+  }
+  if (data_fd_ >= 0) {
+    ::close(data_fd_);
+    data_fd_ = -1;
+  }
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+  if (meta_fd_ >= 0) {
+    ::close(meta_fd_);
+    meta_fd_ = -1;
+  }
+  std::free(payload_buf_);
+  payload_buf_ = nullptr;
+  return result;
+}
+
+#endif  // POSIX
+
+}  // namespace lss

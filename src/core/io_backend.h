@@ -1,0 +1,321 @@
+#ifndef LSS_CORE_IO_BACKEND_H_
+#define LSS_CORE_IO_BACKEND_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/segment.h"
+#include "core/stats.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace lss {
+
+/// Durable record of one sealed segment: identity, placement metadata
+/// and the full entry list in append order — `Segment::Entry` already
+/// carries everything recovery needs (the shard-wide append `seq` that
+/// orders page versions across segments, the page's `last_update` for
+/// frequency estimates, the placement metadata, and the payload
+/// `offset`). An entry with `page == kInvalidPage` was already dead at
+/// seal time (a superseded buffered duplicate); its bytes still occupy
+/// device space and are reconstructed as dead on recovery.
+struct BackendSegmentRecord {
+  SegmentId id = kInvalidSegment;
+  uint32_t log = 0;
+  SegmentSource source = SegmentSource::kNone;
+  UpdateCount open_time = 0;
+  UpdateCount seal_time = 0;
+  /// Shard clock at seal; recovery restores unow to the max seen.
+  UpdateCount unow = 0;
+  std::vector<Segment::Entry> entries;
+};
+
+/// Everything a backend recovered from its durable state, in replay-
+/// resolved form: the latest seal record per still-sealed segment, all
+/// delete tombstones, and the high-water marks of the shard clocks.
+struct BackendRecovery {
+  std::vector<BackendSegmentRecord> segments;
+  /// (page, seq) delete tombstones; a tombstone newer than every surviving
+  /// entry of a page means the page is absent.
+  std::vector<std::pair<PageId, uint64_t>> deletes;
+  uint64_t max_seq = 0;
+  UpdateCount unow = 0;
+};
+
+/// Per-shard persistence backend behind StoreShard. The simulator's
+/// bookkeeping (segments, page table, cleaning) stays in memory and is
+/// bit-for-bit independent of the backend; the backend only mirrors
+/// state transitions onto a device:
+///
+///   SealSegment    one segment's payload + metadata become durable
+///   ReclaimSegment a cleaned segment's space is released
+///   RecordDelete   a page delete becomes durable
+///   Scan           rebuild the mirrored state after a restart
+///
+/// Exactly one backend instance exists per shard (PR 2 serialised each
+/// shard behind its own mutex), so implementations need no internal
+/// locking. All methods return Status; the shard treats any failure as
+/// fatal for the affected operation (write failures become the store's
+/// sticky error, exactly like out-of-space).
+class SegmentBackend {
+ public:
+  virtual ~SegmentBackend() = default;
+
+  /// Binds the backend to a shard's geometry and stats sink and makes it
+  /// ready for writes. `recover` false starts from an empty device
+  /// (truncating any leftover state); true requires existing durable
+  /// state, which a following Scan() call reads — and that state's
+  /// recorded geometry (shard id / shard count / segment layout) must
+  /// match, so a store cannot silently reopen with a different shard
+  /// count and lose the unvisited shards' pages. `stats` outlives the
+  /// backend and receives the device_* counters.
+  virtual Status Open(const StoreConfig& config, uint32_t shard_id,
+                      uint32_t num_shards, StoreStats* stats,
+                      bool recover) = 0;
+
+  /// Persists a sealed segment (payload and metadata). Called by the
+  /// shard immediately after the in-memory seal.
+  virtual Status SealSegment(const BackendSegmentRecord& record) = 0;
+
+  /// Releases a reclaimed segment's device space. Called after the
+  /// cleaner reset a victim.
+  virtual Status ReclaimSegment(SegmentId id, UpdateCount unow) = 0;
+
+  /// Persists a delete tombstone so the page stays dead across reopen.
+  virtual Status RecordDelete(PageId page, uint64_t seq, UpdateCount unow) = 0;
+
+  /// Reads one page's payload from a sealed segment. `offset` is the
+  /// byte offset of the version inside the segment (prefix sum of the
+  /// preceding entries). Backends without stored payloads synthesize it.
+  virtual Status ReadPagePayload(SegmentId id, uint64_t offset, PageId page,
+                                 uint32_t bytes, std::vector<uint8_t>* out) = 0;
+
+  /// Reads back the durable state written so far (only meaningful after
+  /// Open(recover=true)).
+  virtual Status Scan(BackendRecovery* out) = 0;
+
+  /// Flushes and releases device resources. Idempotent; also invoked by
+  /// destructors, which ignore the result.
+  virtual Status Close() = 0;
+
+  /// Diagnostic label ("null", "file").
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic page payload: 64-bit words keyed by (page id, word
+/// index). Both FileBackend (when writing payloads) and NullBackend
+/// (when synthesizing reads) use this pattern, so "is every live page
+/// readable with the right contents" is checkable against any backend.
+inline uint64_t PagePatternWord(PageId page, uint64_t word_index) {
+  return SplitMix64(page * 0x9E3779B97F4A7C15ull + word_index + 1);
+}
+
+/// Fills `out[0, bytes)` with the pattern for `page`.
+void FillPagePayload(PageId page, uint32_t bytes, uint8_t* out);
+
+/// True if `data[0, bytes)` matches the pattern for `page`.
+bool VerifyPagePayload(PageId page, uint32_t bytes, const uint8_t* data);
+
+/// The bookkeeping-only backend: every hook succeeds without touching a
+/// device, preserving the paper simulator's behaviour exactly. Scan
+/// recovers nothing (a reopened null store is an empty store), and reads
+/// synthesize the deterministic pattern.
+class NullBackend : public SegmentBackend {
+ public:
+  Status Open(const StoreConfig&, uint32_t, uint32_t, StoreStats*,
+              bool) override {
+    return Status::OK();
+  }
+  Status SealSegment(const BackendSegmentRecord&) override {
+    return Status::OK();
+  }
+  Status ReclaimSegment(SegmentId, UpdateCount) override {
+    return Status::OK();
+  }
+  Status RecordDelete(PageId, uint64_t, UpdateCount) override {
+    return Status::OK();
+  }
+  Status ReadPagePayload(SegmentId, uint64_t, PageId page, uint32_t bytes,
+                         std::vector<uint8_t>* out) override {
+    out->resize(bytes);
+    FillPagePayload(page, bytes, out->data());
+    return Status::OK();
+  }
+  Status Scan(BackendRecovery* out) override {
+    *out = BackendRecovery{};
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  std::string name() const override { return "null"; }
+};
+
+/// Real file-backed persistence, one instance (= one pair of files) per
+/// shard under StoreConfig::backend_dir:
+///
+///   shard-NNNN.dat   payload: segment slot i at byte offset
+///                    i * segment_bytes, written whole (pwrite) when the
+///                    segment seals; pages carry the deterministic
+///                    pattern, dead entries are zero-filled.
+///   shard-NNNN.meta  metadata log: one binary record per seal, reclaim
+///                    and delete, appended in operation order and
+///                    replayed by Scan (last record per segment wins).
+///
+/// fsync runs after each seal (and on Close) unless
+/// StoreConfig::backend_fsync is off; payload writes use O_DIRECT when
+/// backend_direct_io is set (requires 4 KiB-aligned segments; silently
+/// falls back where the platform lacks O_DIRECT). Reclaim punches a hole
+/// in the payload slot where fallocate supports it, returning the space
+/// to the filesystem while keeping offsets stable.
+///
+/// Device counters (bytes written, write/fsync counts and seconds,
+/// bytes punched) accumulate into the shard's StoreStats.
+class FileBackend : public SegmentBackend {
+ public:
+  FileBackend() = default;
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  Status Open(const StoreConfig& config, uint32_t shard_id,
+              uint32_t num_shards, StoreStats* stats, bool recover) override;
+  Status SealSegment(const BackendSegmentRecord& record) override;
+  Status ReclaimSegment(SegmentId id, UpdateCount unow) override;
+  Status RecordDelete(PageId page, uint64_t seq, UpdateCount unow) override;
+  Status ReadPagePayload(SegmentId id, uint64_t offset, PageId page,
+                         uint32_t bytes, std::vector<uint8_t>* out) override;
+  Status Scan(BackendRecovery* out) override;
+  Status Close() override;
+  std::string name() const override { return "file"; }
+
+  /// Path of the payload / metadata file for `shard_id` under `dir`.
+  static std::string DataPath(const std::string& dir, uint32_t shard_id);
+  static std::string MetaPath(const std::string& dir, uint32_t shard_id);
+
+ private:
+  Status AppendMeta(const void* data, size_t len);
+  Status SyncBoth();
+
+  // A reclaimed segment moves through two durability stages before its
+  // payload is hole-punched, so the punch can never destroy data the
+  // metadata log still references (see DrainReclaims in the .cc; the
+  // shard orders the ReclaimSegment call itself relative to the
+  // relocated pages' seals).
+  struct PendingReclaim {
+    SegmentId id;
+    UpdateCount unow;
+    bool record_durable;  // free record appended AND fsync'd
+    bool punch;           // cleared when the slot is resealed first
+  };
+
+  Status DrainReclaims(bool punching_allowed);
+
+  StoreConfig config_;
+  StoreStats* stats_ = nullptr;
+  uint32_t shard_id_ = 0;
+  uint32_t num_shards_ = 1;
+  std::vector<PendingReclaim> pending_reclaims_;
+  int data_fd_ = -1;
+  /// Buffered fd for sub-segment page reads (O_DIRECT rejects unaligned
+  /// preads); -1 when data_fd_ itself is buffered.
+  int read_fd_ = -1;
+  int meta_fd_ = -1;
+  bool direct_io_ = false;
+  /// Append position in the metadata log.
+  uint64_t meta_offset_ = 0;
+  /// Reused pwrite buffer for a whole segment (aligned when direct_io_).
+  uint8_t* payload_buf_ = nullptr;
+};
+
+/// Test double: forwards every hook to a base backend (NullBackend by
+/// default) but fails the Nth seal / reclaim / delete with a configured
+/// status. Exercises the store's backend-error paths — sticky errors in
+/// Flush, cleaning aborts — without a real device.
+class FaultInjectionBackend : public SegmentBackend {
+ public:
+  explicit FaultInjectionBackend(
+      std::unique_ptr<SegmentBackend> base = nullptr)
+      : base_(base ? std::move(base) : std::make_unique<NullBackend>()) {}
+
+  /// Fail every SealSegment once `count` seals have succeeded (0 fails
+  /// the first). Negative disables.
+  void FailSealsAfter(int64_t count, Status error) {
+    fail_seal_after_ = count;
+    seal_error_ = std::move(error);
+  }
+  void FailReclaimsAfter(int64_t count, Status error) {
+    fail_reclaim_after_ = count;
+    reclaim_error_ = std::move(error);
+  }
+  void FailDeletesAfter(int64_t count, Status error) {
+    fail_delete_after_ = count;
+    delete_error_ = std::move(error);
+  }
+
+  int64_t seals() const { return seals_; }
+  int64_t reclaims() const { return reclaims_; }
+  int64_t deletes() const { return deletes_; }
+
+  Status Open(const StoreConfig& config, uint32_t shard_id,
+              uint32_t num_shards, StoreStats* stats, bool recover) override {
+    return base_->Open(config, shard_id, num_shards, stats, recover);
+  }
+  Status SealSegment(const BackendSegmentRecord& record) override {
+    if (fail_seal_after_ >= 0 && seals_ >= fail_seal_after_) {
+      return seal_error_;
+    }
+    ++seals_;
+    return base_->SealSegment(record);
+  }
+  Status ReclaimSegment(SegmentId id, UpdateCount unow) override {
+    if (fail_reclaim_after_ >= 0 && reclaims_ >= fail_reclaim_after_) {
+      return reclaim_error_;
+    }
+    ++reclaims_;
+    return base_->ReclaimSegment(id, unow);
+  }
+  Status RecordDelete(PageId page, uint64_t seq, UpdateCount unow) override {
+    if (fail_delete_after_ >= 0 && deletes_ >= fail_delete_after_) {
+      return delete_error_;
+    }
+    ++deletes_;
+    return base_->RecordDelete(page, seq, unow);
+  }
+  Status ReadPagePayload(SegmentId id, uint64_t offset, PageId page,
+                         uint32_t bytes, std::vector<uint8_t>* out) override {
+    return base_->ReadPagePayload(id, offset, page, bytes, out);
+  }
+  Status Scan(BackendRecovery* out) override { return base_->Scan(out); }
+  Status Close() override { return base_->Close(); }
+  std::string name() const override { return "fault(" + base_->name() + ")"; }
+
+ private:
+  std::unique_ptr<SegmentBackend> base_;
+  int64_t seals_ = 0;
+  int64_t reclaims_ = 0;
+  int64_t deletes_ = 0;
+  int64_t fail_seal_after_ = -1;
+  int64_t fail_reclaim_after_ = -1;
+  int64_t fail_delete_after_ = -1;
+  Status seal_error_;
+  Status reclaim_error_;
+  Status delete_error_;
+};
+
+/// Builds the backend selected by `config.backend` for one shard. Never
+/// fails — path and platform errors surface from SegmentBackend::Open.
+std::unique_ptr<SegmentBackend> MakeBackend(const StoreConfig& config);
+
+/// Rejects configs whose backend cannot support reopen-after-restart
+/// (the null backend persists nothing). Shared by
+/// LogStructuredStore::Open and ShardedStore::Open.
+Status ValidateReopenConfig(const StoreConfig& config);
+
+}  // namespace lss
+
+#endif  // LSS_CORE_IO_BACKEND_H_

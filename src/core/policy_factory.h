@@ -56,6 +56,19 @@ std::unique_ptr<CleaningPolicy> MakePolicy(Variant v);
 /// except that non-buffering variants zero the write buffer.
 void ApplyVariantConfig(Variant v, StoreConfig* config);
 
+/// Parses a segment-backend selection string and applies it to
+/// `config`'s backend fields (core/io_backend.h). Accepted specs:
+///   "null"               bookkeeping only (the default)
+///   "file:DIR"           per-shard segment files under DIR, fsync on seal
+///   "file-nosync:DIR"    same without fsync (page-cache speed)
+///   "file-direct:DIR"    same with O_DIRECT payload writes
+/// Benches take this via LSS_BENCH_BACKEND; quickstart shows direct use.
+Status ApplyBackendSpec(const std::string& spec, StoreConfig* config);
+
+/// The spec string describing `config`'s current backend selection
+/// (inverse of ApplyBackendSpec, for bench labels).
+std::string BackendSpecName(const StoreConfig& config);
+
 }  // namespace lss
 
 #endif  // LSS_CORE_POLICY_FACTORY_H_

@@ -20,16 +20,27 @@ void Segment::Open(uint32_t log, SegmentSource source, UpdateCount now) {
 }
 
 uint32_t Segment::Append(PageId page, uint32_t bytes, double up2,
-                         double exact_upf) {
+                         double exact_upf, uint64_t seq,
+                         UpdateCount last_update) {
   assert(state_ == SegmentState::kOpen);
   assert(HasRoomFor(bytes));
   assert(page != kInvalidPage);
-  entries_.push_back(Entry{page, bytes});
+  entries_.push_back(
+      Entry{page, bytes, seq, last_update, up2, exact_upf, used_bytes_});
   used_bytes_ += bytes;
   live_bytes_ += bytes;
   live_count_ += 1;
   up2_accum_ += up2;
   exact_upf_sum_ += exact_upf;
+  return static_cast<uint32_t>(entries_.size() - 1);
+}
+
+uint32_t Segment::AppendDead(uint32_t bytes, double up2) {
+  assert(state_ == SegmentState::kOpen);
+  assert(HasRoomFor(bytes));
+  entries_.push_back(Entry{kInvalidPage, bytes, 0, 0, up2, 0.0, used_bytes_});
+  used_bytes_ += bytes;
+  up2_accum_ += up2;
   return static_cast<uint32_t>(entries_.size() - 1);
 }
 

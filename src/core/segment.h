@@ -28,10 +28,21 @@ enum class SegmentSource : uint8_t { kNone, kUser, kGc };
 class Segment {
  public:
   /// One page version stored in the segment. `page == kInvalidPage` marks
-  /// a dead (overwritten) entry.
+  /// a dead (overwritten) entry. Beyond the identity the cleaner needs,
+  /// each entry carries the metadata a persistence backend records so a
+  /// segment can be reconstructed after restart (core/io_backend.h):
+  /// the shard-wide append sequence, the page's up1 at append time, and
+  /// the placement estimates.
   struct Entry {
     PageId page = kInvalidPage;
     uint32_t bytes = 0;
+    uint64_t seq = 0;
+    UpdateCount last_update = 0;
+    double up2 = 0.0;
+    double exact_upf = 0.0;
+    /// Byte offset of this version inside the segment payload (the sum
+    /// of the preceding entries' sizes); fixed at append time.
+    uint64_t offset = 0;
   };
 
   explicit Segment(uint32_t capacity_bytes) : capacity_(capacity_bytes) {}
@@ -54,9 +65,17 @@ class Segment {
 
   /// Appends a live page version. `up2` is the page's carried
   /// penultimate-update estimate (averaged into the segment's up2 at seal,
-  /// §5.2.2); `exact_upf` is the oracle frequency or 0. Returns the entry
-  /// index for the page table.
-  uint32_t Append(PageId page, uint32_t bytes, double up2, double exact_upf);
+  /// §5.2.2); `exact_upf` is the oracle frequency or 0. `seq` and
+  /// `last_update` are recorded for the persistence backend (0 when no
+  /// backend cares). Returns the entry index for the page table.
+  uint32_t Append(PageId page, uint32_t bytes, double up2, double exact_upf,
+                  uint64_t seq = 0, UpdateCount last_update = 0);
+
+  /// Recovery hook: re-creates an entry that was already dead when the
+  /// segment originally sealed (its page id is no longer known). The
+  /// bytes count toward used space and the up2 toward the seal average,
+  /// exactly as the live append + kill did in the original run.
+  uint32_t AppendDead(uint32_t bytes, double up2);
 
   /// Marks entry `idx` dead because its page was overwritten or deleted.
   /// Mirrors §5.2.1: subtracts the page size from the live bytes and

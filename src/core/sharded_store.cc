@@ -4,7 +4,38 @@ namespace lss {
 
 std::unique_ptr<ShardedStore> ShardedStore::Create(
     const StoreConfig& config, uint32_t num_shards,
+    const PolicyFactory& policy_factory, Status* status,
+    const BackendFactory& backend_factory) {
+  return Build(config, num_shards, policy_factory, backend_factory,
+               /*recover=*/false, status);
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::Open(
+    const StoreConfig& config, uint32_t num_shards,
     const PolicyFactory& policy_factory, Status* status) {
+  Status s = ValidateReopenConfig(config);
+  if (!s.ok()) {
+    if (status != nullptr) *status = std::move(s);
+    return nullptr;
+  }
+  return Build(config, num_shards, policy_factory, nullptr,
+               /*recover=*/true, status);
+}
+
+Status ShardedStore::Close() {
+  Status result = Status::OK();
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    Status st = s->shard->Close();
+    if (!st.ok() && result.ok()) result = std::move(st);
+  }
+  return result;
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::Build(
+    const StoreConfig& config, uint32_t num_shards,
+    const PolicyFactory& policy_factory,
+    const BackendFactory& backend_factory, bool recover, Status* status) {
   auto fail = [status](Status s) -> std::unique_ptr<ShardedStore> {
     if (status != nullptr) *status = std::move(s);
     return nullptr;
@@ -38,9 +69,18 @@ std::unique_ptr<ShardedStore> ShardedStore::Create(
     if (policy == nullptr) {
       return fail(Status::InvalidArgument("policy factory returned null"));
     }
+    std::unique_ptr<SegmentBackend> backend =
+        backend_factory ? backend_factory(i) : MakeBackend(shard_cfg);
     auto slot = std::make_unique<Shard>();
     slot->shard = std::make_unique<StoreShard>(shard_cfg, std::move(policy),
-                                               &store->table_, i, num_shards);
+                                               &store->table_, i, num_shards,
+                                               std::move(backend));
+    s = slot->shard->OpenBackend(recover);
+    if (s.ok() && recover) s = slot->shard->Recover();
+    if (!s.ok()) {
+      return fail(Status(s.code(), "shard " + std::to_string(i) + ": " +
+                                       s.message()));
+    }
     store->shards_.push_back(std::move(slot));
   }
   if (status != nullptr) *status = Status::OK();

@@ -9,6 +9,7 @@
 
 #include "core/cleaning_policy.h"
 #include "core/config.h"
+#include "core/io_backend.h"
 #include "core/page_table.h"
 #include "core/stats.h"
 #include "core/store_shard.h"
@@ -20,6 +21,12 @@ namespace lss {
 /// state is never shared between threads (MakePolicy(variant) wrapped in
 /// a lambda is the usual factory).
 using PolicyFactory = std::function<std::unique_ptr<CleaningPolicy>()>;
+
+/// Builds one SegmentBackend instance for the given shard id. Optional:
+/// the default builds whatever `config.backend` selects. Tests inject
+/// FaultInjectionBackend through this.
+using BackendFactory =
+    std::function<std::unique_ptr<SegmentBackend>(uint32_t shard_id)>;
 
 /// A concurrent log-structured store: N independent StoreShards behind a
 /// hash router, scaling the paper's single-threaded simulator (§6.1.1)
@@ -49,14 +56,30 @@ using PolicyFactory = std::function<std::unique_ptr<CleaningPolicy>()>;
 class ShardedStore {
  public:
   /// Creates a store with `num_shards` shards, giving each shard
-  /// num_segments / num_shards segments and its own policy from
-  /// `policy_factory`. Fails (nullptr, `*status` set) when the per-shard
-  /// geometry does not validate — the device must be large enough that
-  /// every shard still has a workable segment pool.
-  static std::unique_ptr<ShardedStore> Create(const StoreConfig& config,
-                                              uint32_t num_shards,
-                                              const PolicyFactory& policy_factory,
-                                              Status* status = nullptr);
+  /// num_segments / num_shards segments, its own policy from
+  /// `policy_factory` and its own persistence backend (from
+  /// `backend_factory`, or `config.backend` when none is given — the
+  /// file backend then writes one file pair per shard under
+  /// `config.backend_dir`). Fails (nullptr, `*status` set) when the
+  /// per-shard geometry does not validate — the device must be large
+  /// enough that every shard still has a workable segment pool.
+  static std::unique_ptr<ShardedStore> Create(
+      const StoreConfig& config, uint32_t num_shards,
+      const PolicyFactory& policy_factory, Status* status = nullptr,
+      const BackendFactory& backend_factory = nullptr);
+
+  /// Reopens a sharded store from the durable state a previous run left
+  /// in `config.backend_dir` (file backend only). `num_shards` and the
+  /// geometry must match the creating run: each shard recovers from its
+  /// own file pair, and a shard-count mismatch is detected when a
+  /// recovered segment holds pages the shard does not own.
+  static std::unique_ptr<ShardedStore> Open(
+      const StoreConfig& config, uint32_t num_shards,
+      const PolicyFactory& policy_factory, Status* status = nullptr);
+
+  /// Closes every shard (flush, seal, backend close); first error wins.
+  /// Also runs at destruction, where the result is ignored.
+  Status Close();
 
   ShardedStore(const ShardedStore&) = delete;
   ShardedStore& operator=(const ShardedStore&) = delete;
@@ -141,6 +164,12 @@ class ShardedStore {
   };
 
   ShardedStore() = default;
+
+  // Shared construction for Create (fresh device) and Open (recovery).
+  static std::unique_ptr<ShardedStore> Build(
+      const StoreConfig& config, uint32_t num_shards,
+      const PolicyFactory& policy_factory,
+      const BackendFactory& backend_factory, bool recover, Status* status);
 
   PageTable table_;
   StoreConfig shard_config_;

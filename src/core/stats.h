@@ -37,6 +37,29 @@ class StoreStats {
   /// Deletes (trims) applied.
   uint64_t deletes = 0;
 
+  // --- Logical byte volume (denominators for device ratios) ----------
+
+  /// Payload bytes of user page versions placed into segments.
+  uint64_t user_bytes_written = 0;
+  /// Payload bytes of GC-moved page versions placed into segments.
+  uint64_t gc_bytes_written = 0;
+
+  // --- Device counters (filled by a real SegmentBackend; all zero on
+  // --- the null backend) ---------------------------------------------
+
+  /// Bytes handed to pwrite (segment payloads plus metadata records).
+  uint64_t device_bytes_written = 0;
+  /// pwrite calls issued.
+  uint64_t device_write_ops = 0;
+  /// fsync/fdatasync calls issued.
+  uint64_t device_fsyncs = 0;
+  /// Payload bytes released back to the filesystem via hole punching.
+  uint64_t device_bytes_punched = 0;
+  /// Wall-clock seconds spent inside pwrite.
+  double device_write_seconds = 0.0;
+  /// Wall-clock seconds spent inside fsync.
+  double device_fsync_seconds = 0.0;
+
   /// Write amplification (Equation 2), measured: moved pages per physical
   /// user page write.
   double WriteAmplification() const {
@@ -53,6 +76,22 @@ class StoreStats {
   const Histogram& clean_emptiness() const { return clean_emptiness_; }
   Histogram& mutable_clean_emptiness() { return clean_emptiness_; }
 
+  /// Measured device traffic per logical user byte: how many bytes the
+  /// backend physically wrote (payload, unfilled segment tails, GC
+  /// re-writes, metadata) for each byte the user submitted. The device
+  /// analogue of the simulator's 1 + Wamp prediction; 0 without a real
+  /// backend.
+  double DeviceBytesPerUserByte() const {
+    if (user_bytes_written == 0) return 0.0;
+    return static_cast<double>(device_bytes_written) /
+           static_cast<double>(user_bytes_written);
+  }
+
+  /// Wall-clock seconds of device work (writes + fsyncs).
+  double DeviceSeconds() const {
+    return device_write_seconds + device_fsync_seconds;
+  }
+
   /// Accumulates another store's counters into this one (ShardedStore
   /// merges per-shard stats on read). Both histograms must share the
   /// default geometry, which every StoreStats does.
@@ -65,6 +104,14 @@ class StoreStats {
     segments_cleaned += other.segments_cleaned;
     cleanings += other.cleanings;
     deletes += other.deletes;
+    user_bytes_written += other.user_bytes_written;
+    gc_bytes_written += other.gc_bytes_written;
+    device_bytes_written += other.device_bytes_written;
+    device_write_ops += other.device_write_ops;
+    device_fsyncs += other.device_fsyncs;
+    device_bytes_punched += other.device_bytes_punched;
+    device_write_seconds += other.device_write_seconds;
+    device_fsync_seconds += other.device_fsync_seconds;
     clean_emptiness_.Merge(other.clean_emptiness_);
   }
 
@@ -78,6 +125,14 @@ class StoreStats {
     segments_cleaned = 0;
     cleanings = 0;
     deletes = 0;
+    user_bytes_written = 0;
+    gc_bytes_written = 0;
+    device_bytes_written = 0;
+    device_write_ops = 0;
+    device_fsyncs = 0;
+    device_bytes_punched = 0;
+    device_write_seconds = 0.0;
+    device_fsync_seconds = 0.0;
     clean_emptiness_.Reset();
   }
 

@@ -1,21 +1,49 @@
 #include "core/store.h"
 
+#include "core/io_backend.h"
+
 namespace lss {
 
-std::unique_ptr<LogStructuredStore> LogStructuredStore::Create(
+std::unique_ptr<LogStructuredStore> LogStructuredStore::Build(
     const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
-    Status* status) {
+    std::unique_ptr<SegmentBackend> backend, bool recover, Status* status) {
+  auto fail = [status](Status s) -> std::unique_ptr<LogStructuredStore> {
+    if (status != nullptr) *status = std::move(s);
+    return nullptr;
+  };
   Status s = config.Validate();
   if (s.ok() && policy == nullptr) {
     s = Status::InvalidArgument("policy must not be null");
   }
-  if (!s.ok()) {
-    if (status != nullptr) *status = s;
-    return nullptr;
-  }
+  if (s.ok() && recover) s = ValidateReopenConfig(config);
+  if (!s.ok()) return fail(std::move(s));
+  if (backend == nullptr) backend = MakeBackend(config);
+  auto store = std::unique_ptr<LogStructuredStore>(new LogStructuredStore(
+      config, std::move(policy), std::move(backend)));
+  s = store->shard_.OpenBackend(recover);
+  if (s.ok() && recover) s = store->shard_.Recover();
+  if (!s.ok()) return fail(std::move(s));
   if (status != nullptr) *status = Status::OK();
-  return std::unique_ptr<LogStructuredStore>(
-      new LogStructuredStore(config, std::move(policy)));
+  return store;
+}
+
+std::unique_ptr<LogStructuredStore> LogStructuredStore::CreateWithBackend(
+    const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
+    std::unique_ptr<SegmentBackend> backend, Status* status) {
+  return Build(config, std::move(policy), std::move(backend),
+               /*recover=*/false, status);
+}
+
+std::unique_ptr<LogStructuredStore> LogStructuredStore::Create(
+    const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
+    Status* status) {
+  return Build(config, std::move(policy), nullptr, /*recover=*/false, status);
+}
+
+std::unique_ptr<LogStructuredStore> LogStructuredStore::Open(
+    const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
+    Status* status) {
+  return Build(config, std::move(policy), nullptr, /*recover=*/true, status);
 }
 
 }  // namespace lss

@@ -36,10 +36,33 @@ namespace lss {
 class LogStructuredStore {
  public:
   /// Creates a store, or returns nullptr (with `*status` set, if given)
-  /// when the config is invalid or `policy` is null.
+  /// when the config is invalid or `policy` is null. The persistence
+  /// backend is built from `config.backend` (core/io_backend.h); any
+  /// existing durable state in `config.backend_dir` is truncated.
   static std::unique_ptr<LogStructuredStore> Create(
       const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
       Status* status = nullptr);
+
+  /// Create with an explicit backend instance (tests inject
+  /// FaultInjectionBackend through here). `backend` null means the
+  /// config-selected backend.
+  static std::unique_ptr<LogStructuredStore> CreateWithBackend(
+      const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
+      std::unique_ptr<SegmentBackend> backend, Status* status = nullptr);
+
+  /// Reopens a store from the durable state a previous run left in
+  /// `config.backend_dir` (file backend only): scans the segment files,
+  /// rebuilds the page table and segment bookkeeping, and verifies
+  /// invariants. `config` must match the geometry the store was created
+  /// with.
+  static std::unique_ptr<LogStructuredStore> Open(
+      const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
+      Status* status = nullptr);
+
+  /// Flushes buffered writes, seals open segments and closes the
+  /// backend; the store rejects writes afterwards. Also runs at
+  /// destruction (result ignored there).
+  Status Close() { return shard_.Close(); }
 
   LogStructuredStore(const LogStructuredStore&) = delete;
   LogStructuredStore& operator=(const LogStructuredStore&) = delete;
@@ -69,6 +92,12 @@ class LogStructuredStore {
 
   /// Size in bytes of the current version of `page` (0 if absent).
   uint32_t PageSize(PageId page) const { return shard_.PageSize(page); }
+
+  /// Reads the current version's payload through the backend (see
+  /// StoreShard::ReadPage for the sealed-segment requirement).
+  Status ReadPage(PageId page, std::vector<uint8_t>* out) const {
+    return shard_.ReadPage(page, out);
+  }
 
   // --- Introspection (used by policies, benches and tests) -----------
 
@@ -113,9 +142,15 @@ class LogStructuredStore {
   Status CheckInvariants() const { return shard_.CheckInvariants(); }
 
  private:
+  // Shared construction for Create (fresh device) and Open (recovery).
+  static std::unique_ptr<LogStructuredStore> Build(
+      const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
+      std::unique_ptr<SegmentBackend> backend, bool recover, Status* status);
+
   LogStructuredStore(const StoreConfig& config,
-                     std::unique_ptr<CleaningPolicy> policy)
-      : shard_(config, std::move(policy), &table_) {}
+                     std::unique_ptr<CleaningPolicy> policy,
+                     std::unique_ptr<SegmentBackend> backend)
+      : shard_(config, std::move(policy), &table_, 0, 1, std::move(backend)) {}
 
   PageTable table_;
   StoreShard shard_;

@@ -10,9 +10,12 @@ namespace lss {
 StoreShard::StoreShard(const StoreConfig& config,
                        std::unique_ptr<CleaningPolicy> policy,
                        PageTable* table, uint32_t shard_id,
-                       uint32_t num_shards)
+                       uint32_t num_shards,
+                       std::unique_ptr<SegmentBackend> backend)
     : config_(config),
       policy_(std::move(policy)),
+      backend_(backend ? std::move(backend)
+                       : std::make_unique<NullBackend>()),
       table_(*table),
       buffer_(static_cast<uint64_t>(config.write_buffer_segments) *
               config.segment_bytes),
@@ -28,6 +31,45 @@ StoreShard::StoreShard(const StoreConfig& config,
   for (uint32_t i = config_.num_segments; i > 0; --i) {
     free_list_.push_back(i - 1);
   }
+}
+
+StoreShard::~StoreShard() {
+  if (!closed_) Close();
+}
+
+Status StoreShard::OpenBackend(bool recover) {
+  return backend_->Open(config_, shard_id_, num_shards_, &stats_, recover);
+}
+
+Status StoreShard::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  Status result = Status::OK();
+  // Drain the buffer and seal every open segment so the device holds the
+  // complete store; with the null backend this is pure bookkeeping.
+  if (!buffer_.Empty() && sticky_error_.ok()) {
+    result = FlushUserBuffer();
+    if (!result.ok()) sticky_error_ = result;
+  }
+  std::vector<uint64_t> open_keys;
+  open_keys.reserve(open_segments_.size());
+  for (const auto& [key, id] : open_segments_) {
+    (void)id;
+    open_keys.push_back(key);
+  }
+  std::sort(open_keys.begin(), open_keys.end());
+  for (uint64_t key : open_keys) {
+    Status s = SealOpenSegment(static_cast<uint32_t>(key >> 1),
+                               static_cast<uint32_t>(key & 1));
+    if (!s.ok() && result.ok()) result = s;
+  }
+  // Everything is sealed now, so any still-withheld victim reclaims are
+  // safe to announce before the backend's final sync.
+  Status s = ReleaseReclaims();
+  if (!s.ok() && result.ok()) result = s;
+  s = backend_->Close();
+  if (!s.ok() && result.ok()) result = s;
+  return result;
 }
 
 void StoreShard::SetExactFrequencyOracle(ExactFrequencyFn oracle) {
@@ -74,6 +116,7 @@ void StoreShard::KillOldVersion(PageId page, const PageLocation& loc) {
 }
 
 Status StoreShard::Write(PageId page, uint32_t bytes) {
+  if (closed_) return Status::InvalidArgument("store is closed");
   if (!sticky_error_.ok()) return sticky_error_;
   if (bytes == 0) bytes = config_.page_bytes;
   if (bytes > config_.segment_bytes) {
@@ -146,6 +189,7 @@ Status StoreShard::Write(PageId page, uint32_t bytes) {
 }
 
 Status StoreShard::Delete(PageId page) {
+  if (closed_) return Status::InvalidArgument("store is closed");
   if (!sticky_error_.ok()) return sticky_error_;
   if (!table_.Present(page)) {
     return Status::NotFound("page not present");
@@ -163,15 +207,33 @@ Status StoreShard::Delete(PageId page) {
   m.loc = PageLocation{};
   m.bytes = 0;
   ++stats_.deletes;
-  return Status::OK();
+  Status s = backend_->RecordDelete(page, ++write_seq_, unow_);
+  if (!s.ok()) sticky_error_ = s;
+  return s;
 }
 
 Status StoreShard::Flush() {
+  if (closed_) return Status::InvalidArgument("store is closed");
   if (!sticky_error_.ok()) return sticky_error_;
   if (buffer_.Empty()) return Status::OK();
   Status s = FlushUserBuffer();
   if (!s.ok()) sticky_error_ = s;
   return s;
+}
+
+Status StoreShard::ReadPage(PageId page, std::vector<uint8_t>* out) const {
+  if (!table_.Present(page)) return Status::NotFound("page not present");
+  const PageMeta& m = table_.Get(page);
+  if (m.loc.InBuffer()) {
+    return Status::InvalidArgument("page still in write buffer");
+  }
+  const Segment& seg = segments_[m.loc.segment];
+  if (seg.state() != SegmentState::kSealed) {
+    return Status::InvalidArgument("page in an unsealed segment");
+  }
+  return backend_->ReadPagePayload(m.loc.segment,
+                                   seg.entries()[m.loc.index].offset, page,
+                                   m.bytes, out);
 }
 
 Status StoreShard::FlushUserBuffer() {
@@ -231,7 +293,10 @@ Status StoreShard::PlacePage(PageId page, uint32_t bytes, double up2,
 
   SegmentId id = kInvalidSegment;
   Segment* seg = OpenSegmentFor(log, stream, is_gc, &id);
-  if (seg == nullptr) return Status::OutOfSpace("no free segment to open");
+  if (seg == nullptr) {
+    return sticky_error_.ok() ? Status::OutOfSpace("no free segment to open")
+                              : sticky_error_;
+  }
   // Seal-and-reopen until the page fits. One round usually suffices, but
   // OpenSegmentFor may adopt a partially-filled segment the cleaner
   // opened for this key, so this must loop (bounded: each round seals a
@@ -240,11 +305,18 @@ Status StoreShard::PlacePage(PageId page, uint32_t bytes, double up2,
     if (rounds > 4) {
       return Status::Corruption("unable to open a segment with room");
     }
-    SealOpenSegment(log, stream);
+    Status s = SealOpenSegment(log, stream);
+    if (!s.ok()) return s;
     seg = OpenSegmentFor(log, stream, is_gc, &id);
-    if (seg == nullptr) return Status::OutOfSpace("no free segment to open");
+    if (seg == nullptr) {
+      return sticky_error_.ok()
+                 ? Status::OutOfSpace("no free segment to open")
+                 : sticky_error_;
+    }
   }
-  const uint32_t idx = seg->Append(page, bytes, up2, exact_upf);
+  const PageMeta& meta = table_.Get(page);
+  const uint32_t idx =
+      seg->Append(page, bytes, up2, exact_upf, ++write_seq_, meta.last_update);
   if (dead_on_arrival) {
     // A queued duplicate: the physical write happens, the version is
     // immediately garbage, and the page table keeps pointing at the
@@ -255,13 +327,18 @@ Status StoreShard::PlacePage(PageId page, uint32_t bytes, double up2,
   }
   if (is_gc) {
     ++stats_.gc_pages_written;
+    stats_.gc_bytes_written += bytes;
+    // This open segment now holds a relocated page; reclaim records for
+    // the cleaner's victims are withheld until it seals.
+    gc_dirty_open_.insert(id);
   } else {
     ++stats_.user_pages_written;
+    stats_.user_bytes_written += bytes;
   }
   // Seal exactly-full segments eagerly. With fixed-size pages segments
   // fill to the byte, and an exactly-full segment left open is invisible
   // to the cleaner while pinning a whole segment of space.
-  if (!seg->HasRoomFor(1)) SealOpenSegment(log, stream);
+  if (!seg->HasRoomFor(1)) return SealOpenSegment(log, stream);
   return Status::OK();
 }
 
@@ -291,11 +368,27 @@ Segment* StoreShard::OpenSegmentFor(uint32_t log, uint32_t stream, bool is_gc,
   return &segments_[id];
 }
 
-void StoreShard::SealOpenSegment(uint32_t log, uint32_t stream) {
+BackendSegmentRecord StoreShard::MakeSealRecord(SegmentId id,
+                                                const Segment& seg) const {
+  BackendSegmentRecord rec;
+  rec.id = id;
+  rec.log = seg.log();
+  rec.source = seg.source();
+  rec.open_time = seg.open_time();
+  rec.seal_time = seg.seal_time();
+  rec.unow = unow_;
+  // Entry list snapshotted as-is: page is kInvalidPage for entries
+  // already dead at seal time.
+  rec.entries = seg.entries();
+  return rec;
+}
+
+Status StoreShard::SealOpenSegment(uint32_t log, uint32_t stream) {
   const uint64_t key = OpenKey(log, stream);
   auto it = open_segments_.find(key);
   assert(it != open_segments_.end());
-  Segment& seg = segments_[it->second];
+  const SegmentId id = it->second;
+  Segment& seg = segments_[id];
   const bool was_gc = seg.source() == SegmentSource::kGc;
   seg.Seal(unow_);
   if (was_gc) {
@@ -304,12 +397,48 @@ void StoreShard::SealOpenSegment(uint32_t log, uint32_t stream) {
     ++stats_.user_segments_sealed;
   }
   open_segments_.erase(it);
+
+  // If this slot is a reclaimed victim whose free record is still
+  // withheld, it must be announced now: the new seal overwrites the old
+  // payload anyway (withholding protects nothing any more), and the
+  // free record must precede the new seal record in the metadata log so
+  // replay resolves the slot to its new contents.
+  for (size_t i = 0; i < reclaim_queue_.size(); ++i) {
+    if (reclaim_queue_[i].id != id) continue;
+    Status s = backend_->ReclaimSegment(id, reclaim_queue_[i].unow);
+    if (!s.ok()) return s;
+    reclaim_queue_.erase(reclaim_queue_.begin() +
+                         static_cast<ptrdiff_t>(i));
+    break;
+  }
+
+  Status s = backend_->SealSegment(MakeSealRecord(id, seg));
+  if (!s.ok()) return s;
+
+  // Once no open segment holds GC-moved pages, every relocated page is
+  // sealed (durable on a real backend) and the withheld victim reclaims
+  // can safely reach the device.
+  gc_dirty_open_.erase(id);
+  if (gc_dirty_open_.empty() && !reclaim_queue_.empty()) {
+    return ReleaseReclaims();
+  }
+  return Status::OK();
 }
 
 SegmentId StoreShard::AllocateSegment(uint32_t log) {
   if (!cleaning_ && free_list_.size() <= config_.clean_trigger_segments) {
     Status s = Clean(log);
-    if (!s.ok() && free_list_.empty()) return kInvalidSegment;
+    if (!s.ok()) {
+      // Out-of-space with segments still free is survivable (best-effort
+      // cleaning); anything else — a backend write failure above all —
+      // poisons the shard so the caller sees the real error, not a
+      // misleading out-of-space.
+      if (s.code() != Status::Code::kOutOfSpace) {
+        sticky_error_ = s;
+        return kInvalidSegment;
+      }
+      if (free_list_.empty()) return kInvalidSegment;
+    }
   }
   if (free_list_.empty()) return kInvalidSegment;
   const SegmentId id = free_list_.back();
@@ -319,13 +448,13 @@ SegmentId StoreShard::AllocateSegment(uint32_t log) {
 
 uint64_t StoreShard::HarvestVictims(const std::vector<SegmentId>& victims,
                                     std::vector<MovedPage>* moved) {
-  uint64_t reclaimed_bytes = 0;
+  uint64_t reclaimed = 0;
   for (SegmentId id : victims) {
     Segment& seg = segments_[id];
     assert(seg.state() == SegmentState::kSealed);
     stats_.mutable_clean_emptiness().Add(seg.Emptiness());
     ++stats_.segments_cleaned;
-    reclaimed_bytes += seg.available_bytes();
+    reclaimed += seg.available_bytes();
     const double seg_up2 = seg.up2();
     for (const Segment::Entry& e : seg.entries()) {
       if (e.page == kInvalidPage) continue;
@@ -345,8 +474,22 @@ uint64_t StoreShard::HarvestVictims(const std::vector<SegmentId>& victims,
     }
     seg.Reset();
     free_list_.push_back(id);
+    // The backend is told later (ReleaseReclaims): a durable free record
+    // now would let a crash erase this victim's entries while its moved
+    // pages are still in unsealed destinations.
+    reclaim_queue_.push_back(QueuedReclaim{id, unow_});
   }
-  return reclaimed_bytes;
+  return reclaimed;
+}
+
+Status StoreShard::ReleaseReclaims() {
+  while (!reclaim_queue_.empty()) {
+    const QueuedReclaim& qr = reclaim_queue_.back();
+    Status s = backend_->ReclaimSegment(qr.id, qr.unow);
+    if (!s.ok()) return s;
+    reclaim_queue_.pop_back();
+  }
+  return Status::OK();
 }
 
 Status StoreShard::Clean(uint32_t triggering_log) {
@@ -439,8 +582,104 @@ Status StoreShard::Clean(uint32_t triggering_log) {
     }
   }
 
+  // Victims whose moved pages all landed in segments that sealed during
+  // the cycle need not wait for the next organic seal.
+  if (gc_dirty_open_.empty() && !reclaim_queue_.empty()) {
+    Status r = ReleaseReclaims();
+    if (result.ok() && !r.ok()) result = r;
+  }
+
   cleaning_ = false;
   return result;
+}
+
+Status StoreShard::Recover() {
+  BackendRecovery log;
+  Status s = backend_->Scan(&log);
+  if (!s.ok()) return s;
+
+  // Location of one recovered entry, for newest-wins resolution below.
+  struct Placed {
+    PageId page;
+    SegmentId segment;
+    uint32_t index;
+    uint64_t seq;
+    uint32_t bytes;
+    UpdateCount last_update;
+    double exact_upf;
+  };
+  std::vector<Placed> placed;
+
+  // Rebuild each sealed segment exactly as the original run filled it:
+  // same entry order, same up2 accumulation, so the seal-time up2 the
+  // cleaning policies rank by comes back bit-for-bit.
+  std::vector<uint8_t> is_sealed(segments_.size(), 0);
+  for (const BackendSegmentRecord& rec : log.segments) {
+    if (rec.id >= segments_.size()) {
+      return Status::Corruption("recovery: segment id out of range");
+    }
+    Segment& seg = segments_[rec.id];
+    seg.Open(rec.log, rec.source, rec.open_time);
+    for (const Segment::Entry& e : rec.entries) {
+      if (!seg.HasRoomFor(e.bytes)) {
+        return Status::Corruption("recovery: entries overflow segment");
+      }
+      if (e.page == kInvalidPage) {
+        seg.AppendDead(e.bytes, e.up2);
+        continue;
+      }
+      if (!OwnsPage(e.page)) {
+        return Status::Corruption(
+            "recovery: segment holds a page this shard does not own "
+            "(was the store created with a different shard count?)");
+      }
+      const uint32_t idx =
+          seg.Append(e.page, e.bytes, e.up2, e.exact_upf, e.seq,
+                     e.last_update);
+      placed.push_back(
+          Placed{e.page, rec.id, idx, e.seq, e.bytes, e.last_update,
+                 e.exact_upf});
+    }
+    seg.Seal(rec.seal_time);
+    is_sealed[rec.id] = 1;
+  }
+
+  // Newest version wins, by append sequence; a newer delete tombstone
+  // means the page is dead everywhere.
+  std::unordered_map<PageId, uint64_t> latest_delete;
+  for (const auto& [page, seq] : log.deletes) {
+    uint64_t& cur = latest_delete[page];
+    cur = std::max(cur, seq);
+  }
+  std::unordered_map<PageId, const Placed*> winner;
+  for (const Placed& p : placed) {
+    auto it = latest_delete.find(p.page);
+    if (it != latest_delete.end() && it->second > p.seq) continue;
+    const Placed*& w = winner[p.page];
+    if (w == nullptr || p.seq > w->seq) w = &p;
+  }
+  for (const Placed& p : placed) {
+    auto it = winner.find(p.page);
+    if (it != winner.end() && it->second == &p) {
+      PageMeta& m = table_.Ensure(p.page);
+      m.loc = PageLocation{p.segment, p.index};
+      m.bytes = p.bytes;
+      m.last_update = p.last_update;
+    } else {
+      segments_[p.segment].Kill(p.index, p.exact_upf);
+    }
+  }
+
+  // Remaining segments are free, lowest id allocated first as in a
+  // fresh store.
+  free_list_.clear();
+  for (uint32_t i = config_.num_segments; i > 0; --i) {
+    if (!is_sealed[i - 1]) free_list_.push_back(i - 1);
+  }
+
+  unow_ = std::max(unow_, log.unow);
+  write_seq_ = std::max(write_seq_, log.max_seq);
+  return CheckInvariants();
 }
 
 Status StoreShard::CheckInvariants() const {

@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/cleaning_policy.h"
 #include "core/config.h"
+#include "core/io_backend.h"
 #include "core/page_table.h"
 #include "core/segment.h"
 #include "core/stats.h"
@@ -54,12 +56,35 @@ class StoreShard {
  public:
   /// `table` must outlive the shard. `config` must already be validated;
   /// `policy` must be non-null. `shard_id`/`num_shards` define which
-  /// pages the shard owns (all of them when num_shards <= 1).
+  /// pages the shard owns (all of them when num_shards <= 1). `backend`
+  /// is the shard's persistence backend (null means the bookkeeping-only
+  /// NullBackend); OpenBackend must be called before the first Write.
   StoreShard(const StoreConfig& config, std::unique_ptr<CleaningPolicy> policy,
-             PageTable* table, uint32_t shard_id = 0, uint32_t num_shards = 1);
+             PageTable* table, uint32_t shard_id = 0, uint32_t num_shards = 1,
+             std::unique_ptr<SegmentBackend> backend = nullptr);
 
   StoreShard(const StoreShard&) = delete;
   StoreShard& operator=(const StoreShard&) = delete;
+
+  /// Closes (best effort) if the caller did not.
+  ~StoreShard();
+
+  /// Opens the persistence backend. `recover` true expects durable state
+  /// from a previous run; follow with Recover() to rebuild from it.
+  Status OpenBackend(bool recover = false);
+
+  /// Rebuilds segments, free list, page-table entries and clocks from
+  /// the backend's durable state (Open'd with recover = true). The
+  /// newest version of each page wins by append sequence; delete
+  /// tombstones keep dead pages dead. Leaves the shard ready for writes.
+  Status Recover();
+
+  /// Flushes the write buffer, seals all open segments so their contents
+  /// are durable, and closes the backend. The shard rejects further
+  /// writes afterwards. Called automatically at destruction, but callers
+  /// that care about the resulting Status (or about durability
+  /// guarantees) should call it explicitly.
+  Status Close();
 
   /// Installs an exact update-frequency oracle for the `*-opt` policy
   /// variants. Must be set before the first Write. The oracle must be
@@ -81,6 +106,13 @@ class StoreShard {
   /// True if `page` currently has a live version (buffered or stored).
   bool Contains(PageId page) const { return table_.Present(page); }
 
+  /// Reads the current version's payload through the backend. Only pages
+  /// whose version lives in a *sealed* segment are readable — buffered or
+  /// open-segment versions have not reached the device yet (Close seals
+  /// everything, so after reopen every live page is readable). The null
+  /// backend synthesizes the deterministic payload pattern.
+  Status ReadPage(PageId page, std::vector<uint8_t>* out) const;
+
   /// Size in bytes of the current version of `page` (0 if absent).
   uint32_t PageSize(PageId page) const {
     return table_.Present(page) ? table_.Get(page).bytes : 0;
@@ -92,6 +124,7 @@ class StoreShard {
   const StoreStats& stats() const { return stats_; }
   StoreStats& mutable_stats() { return stats_; }
   const CleaningPolicy& policy() const { return *policy_; }
+  const SegmentBackend& backend() const { return *backend_; }
 
   uint32_t shard_id() const { return shard_id_; }
   uint32_t num_shards() const { return num_shards_; }
@@ -169,14 +202,20 @@ class StoreShard {
   Segment* OpenSegmentFor(uint32_t log, uint32_t stream, bool is_gc,
                           SegmentId* id_out);
 
-  void SealOpenSegment(uint32_t log, uint32_t stream);
+  // Seals the open segment of (log, stream) and persists it through the
+  // backend. A backend write failure is returned (and must stop the
+  // write path — the in-memory seal already happened, but durability is
+  // gone).
+  Status SealOpenSegment(uint32_t log, uint32_t stream);
 
   // Pops a free segment, running the cleaner first if the pool is low.
   SegmentId AllocateSegment(uint32_t log);
 
   // Reads the live pages of `victims` into `moved` (recording clean-time
   // emptiness), then resets the victims and returns them to the free
-  // pool. Returns the reclaimed (dead) bytes across the victims.
+  // pool, queueing their backend reclaim for a crash-safe release point
+  // (see reclaim_queue_). Returns the reclaimed (dead) bytes across the
+  // victims.
   uint64_t HarvestVictims(const std::vector<SegmentId>& victims,
                           std::vector<MovedPage>* moved);
 
@@ -191,13 +230,49 @@ class StoreShard {
     return (static_cast<uint64_t>(log) << 1) | stream;
   }
 
+  // Builds the backend's durable record for a segment this shard is
+  // sealing (snapshots the entry list with current liveness).
+  BackendSegmentRecord MakeSealRecord(SegmentId id, const Segment& seg) const;
+
+  // Announces every queued victim reclaim to the backend. Called only
+  // when it is crash-safe to do so — see reclaim_queue_ below.
+  Status ReleaseReclaims();
+
   StoreConfig config_;
   std::unique_ptr<CleaningPolicy> policy_;
+  std::unique_ptr<SegmentBackend> backend_;
   ExactFrequencyFn oracle_;
 
   std::vector<Segment> segments_;
   std::vector<SegmentId> free_list_;
   std::unordered_map<uint64_t, SegmentId> open_segments_;  // OpenKey -> id
+
+  /// Cleaned victims whose reclaim has not yet been announced to the
+  /// backend. A victim's durable free record erases its entries from
+  /// recovery, so it must not become durable while the victim's
+  /// relocated live pages sit in segments that have not sealed — the
+  /// crash would lose previously-durable data. The shard therefore
+  /// withholds ReclaimSegment until no open segment holds GC-moved
+  /// pages (gc_dirty_open_ empty), or until the victim's slot itself is
+  /// resealed with new data (at which point the old payload is being
+  /// overwritten and withholding protects nothing; the free record must
+  /// then precede the new seal record in the metadata log).
+  ///
+  /// Known residual window: the simulator reuses freed slots
+  /// immediately, so a victim can be resealed — forcing its free record
+  /// out — while a GC segment holding its relocated pages is still
+  /// open; a crash exactly there reverts those pages to older versions.
+  /// Closing it requires persisting partially-filled segments (the
+  /// ROADMAP "group commit / async seal" item); holding freed slots
+  /// back instead would change allocation order and break the
+  /// null-backend determinism contract.
+  struct QueuedReclaim {
+    SegmentId id;
+    UpdateCount unow;
+  };
+  std::vector<QueuedReclaim> reclaim_queue_;
+  /// Open segments that received GC-moved pages since they were opened.
+  std::unordered_set<SegmentId> gc_dirty_open_;
 
   PageTable& table_;
   WriteBuffer buffer_;
@@ -207,7 +282,11 @@ class StoreShard {
   uint32_t num_shards_;
 
   UpdateCount unow_ = 0;
+  /// Shard-wide append sequence: one tick per segment entry and delete
+  /// tombstone, giving recovery a total version order per page.
+  uint64_t write_seq_ = 0;
   bool cleaning_ = false;
+  bool closed_ = false;
   Status sticky_error_;
 };
 

@@ -17,6 +17,13 @@ RunResult Fail(Status s, const std::string& variant) {
   return r;
 }
 
+void FillDeviceMetrics(const StoreStats& stats, RunResult* r) {
+  r->device_bytes_written = stats.device_bytes_written;
+  r->device_bytes_per_user_byte = stats.DeviceBytesPerUserByte();
+  r->device_seconds = stats.DeviceSeconds();
+  r->device_fsyncs = stats.device_fsyncs;
+}
+
 ParallelRunResult FailParallel(Status s, const std::string& variant,
                                uint32_t threads, uint32_t shards) {
   ParallelRunResult r;
@@ -112,6 +119,7 @@ RunResult RunSynthetic(const StoreConfig& config, Variant variant,
   r.mean_clean_emptiness = store->stats().MeanCleanEmptiness();
   r.measured_updates = store->stats().user_updates;
   r.effective_fill = store->CurrentFillFactor();
+  FillDeviceMetrics(store->stats(), &r);
   return r;
 }
 
@@ -213,6 +221,7 @@ ParallelRunResult RunSyntheticParallel(const StoreConfig& config,
   pr.result.mean_clean_emptiness = total.MeanCleanEmptiness();
   pr.result.measured_updates = total.user_updates;
   pr.result.effective_fill = store->CurrentFillFactor();
+  FillDeviceMetrics(total, &pr.result);
   return pr;
 }
 
@@ -256,6 +265,7 @@ RunResult RunTrace(const StoreConfig& config, Variant variant,
   r.mean_clean_emptiness = store->stats().MeanCleanEmptiness();
   r.measured_updates = store->stats().user_updates;
   r.effective_fill = store->CurrentFillFactor();
+  FillDeviceMetrics(store->stats(), &r);
   return r;
 }
 

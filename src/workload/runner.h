@@ -41,6 +41,19 @@ struct RunResult {
   double effective_fill = 0.0;
   /// Paper figure label of the variant.
   std::string variant;
+
+  // --- Device-side measurements (all zero on the null backend) --------
+
+  /// Bytes the backend physically wrote during the measurement phase.
+  uint64_t device_bytes_written = 0;
+  /// Measured device bytes per logical user byte — the device analogue
+  /// of the simulator's 1 + Wamp prediction (plus segment-tail and
+  /// metadata overhead).
+  double device_bytes_per_user_byte = 0.0;
+  /// Wall-clock seconds spent in pwrite + fsync during measurement.
+  double device_seconds = 0.0;
+  /// fsync calls during measurement.
+  uint64_t device_fsyncs = 0;
 };
 
 /// Builds a store for `variant` (applying its placement conventions to

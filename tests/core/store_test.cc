@@ -1,9 +1,11 @@
 #include "core/store.h"
 
 #include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "core/io_backend.h"
 #include "core/policy_factory.h"
 #include "util/rng.h"
 
@@ -252,6 +254,114 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n;
     });
+
+// --- Backend failure paths (FaultInjectionBackend) -------------------
+//
+// A persistence backend can fail on any state transition: seal (the
+// write path and Flush), reclaim (cleaning) and delete. Every failure
+// must surface as the operation's status AND poison the store (sticky),
+// exactly like out-of-space does — a store that lost durability must not
+// keep accepting writes.
+
+std::unique_ptr<LogStructuredStore> MakeFaultyStore(
+    const StoreConfig& cfg, FaultInjectionBackend** handle,
+    Variant v = Variant::kGreedy) {
+  auto backend = std::make_unique<FaultInjectionBackend>();
+  *handle = backend.get();
+  Status st;
+  auto store = LogStructuredStore::CreateWithBackend(cfg, MakePolicy(v),
+                                                     std::move(backend), &st);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return store;
+}
+
+TEST(StoreBackendFailureTest, SealFailurePoisonsUnbufferedWrites) {
+  FaultInjectionBackend* fault = nullptr;
+  auto store = MakeFaultyStore(SmallConfig(), &fault);
+  fault->FailSealsAfter(0, Status::Corruption("injected seal failure"));
+  // 4 pages fill the first segment; the 4th write seals it and must fail.
+  Status last = Status::OK();
+  PageId p = 0;
+  for (; p < 16 && last.ok(); ++p) last = store->Write(p);
+  EXPECT_EQ(last.code(), Status::Code::kCorruption);
+  // Sticky: the store refuses further work with the original error.
+  EXPECT_EQ(store->Write(100).code(), Status::Code::kCorruption);
+  EXPECT_EQ(store->Flush().code(), Status::Code::kCorruption);
+}
+
+TEST(StoreBackendFailureTest, SealFailureSurfacesThroughFlush) {
+  StoreConfig c = SmallConfig();
+  c.write_buffer_segments = 2;
+  FaultInjectionBackend* fault = nullptr;
+  auto store = MakeFaultyStore(c, &fault, Variant::kMdc);
+  fault->FailSealsAfter(0, Status::Corruption("injected seal failure"));
+  // Stay under the buffer-full threshold so the failure comes from the
+  // explicit Flush, not the write path.
+  for (PageId p = 0; p < 4; ++p) ASSERT_TRUE(store->Write(p).ok());
+  EXPECT_EQ(store->Flush().code(), Status::Code::kCorruption);
+  EXPECT_EQ(store->Write(0).code(), Status::Code::kCorruption);
+}
+
+TEST(StoreBackendFailureTest, BackendOutOfSpaceSurfacesAsOutOfSpace) {
+  // A real device running out of room (ENOSPC) must look exactly like
+  // the simulator's cleaning-cannot-reclaim condition.
+  FaultInjectionBackend* fault = nullptr;
+  auto store = MakeFaultyStore(SmallConfig(), &fault);
+  fault->FailSealsAfter(3, Status::OutOfSpace("injected ENOSPC"));
+  Status last = Status::OK();
+  for (PageId p = 0; p < 64 && last.ok(); ++p) last = store->Write(p);
+  EXPECT_EQ(last.code(), Status::Code::kOutOfSpace);
+  EXPECT_EQ(store->Write(0).code(), Status::Code::kOutOfSpace);
+}
+
+TEST(StoreBackendFailureTest, ReclaimFailureAbortsCleaning) {
+  FaultInjectionBackend* fault = nullptr;
+  auto store = MakeFaultyStore(SmallConfig(), &fault);
+  fault->FailReclaimsAfter(0, Status::Corruption("injected reclaim failure"));
+  // Half-fill, then churn until the cleaner runs; its first reclaim
+  // fails and the error must reach the writer (not be swallowed into a
+  // best-effort retry or a bogus out-of-space).
+  for (PageId p = 0; p < 32; ++p) ASSERT_TRUE(store->Write(p).ok());
+  Rng rng(1);
+  Status last = Status::OK();
+  for (int i = 0; i < 2000 && last.ok(); ++i) {
+    last = store->Write(rng.NextBounded(32));
+  }
+  EXPECT_EQ(last.code(), Status::Code::kCorruption);
+  EXPECT_NE(last.message().find("reclaim"), std::string::npos);
+  EXPECT_EQ(store->Write(0).code(), Status::Code::kCorruption);
+}
+
+TEST(StoreBackendFailureTest, DeleteFailureIsSticky) {
+  FaultInjectionBackend* fault = nullptr;
+  auto store = MakeFaultyStore(SmallConfig(), &fault);
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Write(2).ok());
+  fault->FailDeletesAfter(0, Status::Corruption("injected delete failure"));
+  EXPECT_EQ(store->Delete(1).code(), Status::Code::kCorruption);
+  EXPECT_EQ(store->Write(3).code(), Status::Code::kCorruption);
+}
+
+TEST(StoreBackendFailureTest, HealthyFaultBackendCountsOperations) {
+  FaultInjectionBackend* fault = nullptr;
+  auto store = MakeFaultyStore(SmallConfig(), &fault);
+  for (PageId p = 0; p < 32; ++p) ASSERT_TRUE(store->Write(p).ok());
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Write(rng.NextBounded(32)).ok());
+  }
+  ASSERT_TRUE(store->Delete(0).ok());
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  // Close seals the remaining open segments and releases any withheld
+  // victim reclaims, after which the backend has seen every operation.
+  ASSERT_TRUE(store->Close().ok());
+  EXPECT_EQ(fault->seals(),
+            static_cast<int64_t>(store->stats().user_segments_sealed +
+                                 store->stats().gc_segments_sealed));
+  EXPECT_EQ(fault->reclaims(),
+            static_cast<int64_t>(store->stats().segments_cleaned));
+  EXPECT_EQ(fault->deletes(), 1);
+}
 
 // Mixed insert/update/delete churn with variable sizes.
 TEST(StoreTest, MixedWorkloadWithDeletesAndVariableSizes) {
