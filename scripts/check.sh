@@ -4,27 +4,36 @@
 # This mirrors .github/workflows/ci.yml exactly; if this passes locally,
 # CI should be green.
 #
-# Usage: scripts/check.sh [--tsan|--asan] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--torture] [build-dir]
 #   default:  full build + full test suite in ./build
 #   --tsan:   rebuild with -fsanitize=thread in ./build-tsan (or the given
 #             build dir) and run the concurrency test suites under
-#             ThreadSanitizer — the data-race gate for ShardedStore and
-#             the striped PageTable.
+#             ThreadSanitizer — the data-race gate for ShardedStore, the
+#             striped PageTable and the per-shard async seal pipeline
+#             (AsyncSeal* cases in tests/core/sharded_store_test.cc).
 #   --asan:   rebuild with -fsanitize=address,undefined in ./build-asan
 #             (or the given build dir) and run the FULL test suite — the
 #             memory-safety gate for the raw-I/O backend (pwrite buffers,
 #             recovery scans, O_DIRECT alignment) and everything else.
+#   --torture: normal build, then the crash-recovery torture harness
+#             (tests/integration/crash_recovery_test.cc) with extra
+#             randomized kill points per geometry (LSS_TORTURE_ITERS,
+#             default 600 here vs 200 in the tier-1 run).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TSAN=0
 ASAN=0
+TORTURE=0
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
   shift
 elif [[ "${1:-}" == "--asan" ]]; then
   ASAN=1
+  shift
+elif [[ "${1:-}" == "--torture" ]]; then
+  TORTURE=1
   shift
 fi
 
@@ -32,6 +41,10 @@ if [[ $TSAN -eq 1 ]]; then
   BUILD_DIR="${1:-build-tsan}"
 elif [[ $ASAN -eq 1 ]]; then
   BUILD_DIR="${1:-build-asan}"
+elif [[ $TORTURE -eq 1 ]]; then
+  # Own build dir: the bench/example-OFF cache values must not poison
+  # the tier-1 ./build.
+  BUILD_DIR="${1:-build-torture}"
 else
   BUILD_DIR="${1:-build}"
 fi
@@ -47,8 +60,19 @@ if [[ $TSAN -eq 1 ]]; then
   # binary would otherwise exit 0.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'Sharded|PageTableConcurrency|Parallel'
+      -R 'Sharded|PageTableConcurrency|Parallel|AsyncSeal'
   echo "check.sh: tsan green"
+  exit 0
+fi
+
+if [[ $TORTURE -eq 1 ]]; then
+  cmake -B "$BUILD_DIR" -S . \
+    -DLSS_BUILD_BENCHES=OFF -DLSS_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  LSS_TORTURE_ITERS="${LSS_TORTURE_ITERS:-600}" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure \
+      -R 'CrashRecovery'
+  echo "check.sh: torture green"
   exit 0
 fi
 

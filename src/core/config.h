@@ -77,6 +77,27 @@ struct StoreConfig {
   /// requires segment_bytes to be a multiple of 4 KiB).
   bool backend_direct_io = false;
 
+  /// Run segment seals asynchronously: the shard hands sealed-in-memory
+  /// segments (and reclaims, deletes, checkpoints) to a per-shard I/O
+  /// thread through a bounded queue, so device latency leaves the write
+  /// path; fsyncs are group-committed (one fsync covers every operation
+  /// queued since the last). Off keeps the PR 3 synchronous behaviour
+  /// bit-for-bit (pinned by the determinism tests). Placement decisions
+  /// are identical either way — only when I/O happens changes.
+  bool async_seal = false;
+  /// Capacity of the per-shard seal queue in operations (async_seal
+  /// only). Writers block (backpressure, counted in
+  /// StoreStats::seal_queue_stalls) when the queue is full.
+  uint32_t seal_queue_depth = 16;
+  /// Persist partially-filled open segments with a checkpoint record
+  /// every N backend operations (0 disables). Checkpoints are replayed
+  /// as an entry prefix on recovery, bounding how many acknowledged
+  /// writes an open segment can lose to a crash — and they close the
+  /// residual PR 3 crash window: a victim's free record forced out by a
+  /// slot reseal is now always preceded by checkpoints of the open
+  /// segments holding its relocated pages.
+  uint32_t checkpoint_interval_ops = 0;
+
   /// Total physical page frames of `page_bytes` size.
   uint64_t PhysicalPages() const {
     return static_cast<uint64_t>(num_segments) *
@@ -129,6 +150,10 @@ struct StoreConfig {
     if (backend_direct_io && segment_bytes % 4096 != 0) {
       return Status::InvalidArgument(
           "backend_direct_io requires 4 KiB-aligned segments");
+    }
+    if (async_seal && seal_queue_depth < 1) {
+      return Status::InvalidArgument(
+          "async_seal requires seal_queue_depth >= 1");
     }
     return Status::OK();
   }

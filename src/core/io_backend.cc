@@ -77,6 +77,17 @@ Status FileBackend::Open(const StoreConfig&, uint32_t, uint32_t, StoreStats*,
 Status FileBackend::SealSegment(const BackendSegmentRecord&) {
   return Status::InvalidArgument("file backend not open");
 }
+Status FileBackend::Checkpoint(const BackendSegmentRecord&) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord&, bool) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::Sync() {
+  return Status::InvalidArgument("file backend not open");
+}
+void FileBackend::Abandon() {}
+void FileBackend::ReleaseFds() {}
 Status FileBackend::ReclaimSegment(SegmentId, UpdateCount) {
   return Status::InvalidArgument("file backend not open");
 }
@@ -117,7 +128,16 @@ enum MetaType : uint16_t {
   kMetaFree = 2,
   kMetaDelete = 3,
   kMetaGeometry = 4,
+  kMetaCheckpoint = 5,  // open-segment snapshot; SealBody layout
 };
+
+// Metadata-log format version, recorded in the geometry record.
+//   0  PR 3: seal / free / delete records only.
+//   1  adds kMetaCheckpoint (same body layout as a seal record).
+// A version-0 log contains no checkpoint records, so the current reader
+// accepts both (io_backend_test pins that compatibility).
+constexpr uint32_t kMetaFormatPr3 = 0;
+constexpr uint32_t kMetaFormatCheckpoint = 1;
 
 struct MetaHeader {
   uint32_t magic;
@@ -185,14 +205,15 @@ static_assert(sizeof(DeleteBody) == 24, "DeleteBody must pack to 24 bytes");
 
 // Written once, first, at create time; recovery refuses a file whose
 // geometry does not match the reopening store (different shard count,
-// segment size or device size silently corrupts page routing).
+// segment size or device size silently corrupts page routing) or whose
+// format version is newer than this reader.
 struct GeometryBody {
   uint32_t shard_id;
   uint32_t num_shards;
   uint32_t num_segments;
   uint32_t segment_bytes;
   uint32_t page_bytes;
-  uint32_t reserved;
+  uint32_t format;  // kMetaFormat*; was reserved (== 0) in PR 3 logs
 };
 static_assert(sizeof(GeometryBody) == 24, "GeometryBody must pack to 24 bytes");
 
@@ -359,7 +380,7 @@ Status FileBackend::Open(const StoreConfig& config, uint32_t shard_id,
     // First record: the geometry fingerprint recovery validates against.
     GeometryBody body{shard_id_,           num_shards_,
                       config_.num_segments, config_.segment_bytes,
-                      config_.page_bytes,   0};
+                      config_.page_bytes,   kMetaFormatCheckpoint};
     const std::vector<uint8_t> rec =
         BuildRecord(kMetaGeometry, &body, sizeof(body));
     Status s = AppendMeta(rec.data(), rec.size());
@@ -420,11 +441,12 @@ Status FileBackend::SyncBoth() {
 // fresh payload replaces the old bytes anyway.
 Status FileBackend::DrainReclaims(bool punching_allowed) {
   for (PendingReclaim& pr : pending_reclaims_) {
-    if (pr.record_durable) continue;
+    if (pr.record_appended) continue;
     FreeBody body{pr.id, 0, pr.unow};
     const std::vector<uint8_t> rec = BuildRecord(kMetaFree, &body, sizeof(body));
     Status s = AppendMeta(rec.data(), rec.size());
     if (!s.ok()) return s;
+    pr.record_appended = true;
     // With fsync off we make no crash promises; treat appended as done.
     if (!config_.backend_fsync) pr.record_durable = true;
   }
@@ -455,6 +477,21 @@ Status FileBackend::DrainReclaims(bool punching_allowed) {
 }
 
 Status FileBackend::SealSegment(const BackendSegmentRecord& record) {
+  return WriteSegmentRecord(record, /*checkpoint=*/false);
+}
+
+// A checkpoint is a seal record for a segment that is still open: the
+// payload prefix written so far plus a kMetaCheckpoint metadata record.
+// Replay treats it as the segment's latest state until a real seal (or
+// free record) supersedes it, so a crash after the checkpoint loses only
+// the appends since — the partial-segment persistence that closes the
+// reseal-while-GC-open crash window (see StoreShard::reclaim_queue_).
+Status FileBackend::Checkpoint(const BackendSegmentRecord& record) {
+  return WriteSegmentRecord(record, /*checkpoint=*/true);
+}
+
+Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord& record,
+                                       bool checkpoint) {
   if (data_fd_ < 0) return Status::InvalidArgument("backend not open");
   if (record.id >= config_.num_segments) {
     return Status::InvalidArgument("seal: segment id out of range");
@@ -469,15 +506,22 @@ Status FileBackend::SealSegment(const BackendSegmentRecord& record) {
   Status s = DrainReclaims(/*punching_allowed=*/false);
   if (!s.ok()) return s;
 
-  // Payload: live entries carry the deterministic pattern, dead entries
-  // and the unused tail are zero-filled. One pwrite covers the slot.
+  // Payload: live entries carry the deterministic pattern; entries that
+  // died in place keep their ORIGINAL pattern (orig_page) so every
+  // rewrite of this slot produces byte-identical content for regions an
+  // earlier durable record (a checkpoint of the same segment) may still
+  // reference — a torn rewrite then only garbles the new suffix, whose
+  // only referencing record dies with the crash. Only entries whose
+  // original page is unknown (recovery-reconstructed dead entries, never
+  // rewritten) and the unused tail are zero-filled.
   uint64_t cursor = 0;
   for (const Segment::Entry& e : record.entries) {
     if (cursor + e.bytes > config_.segment_bytes) {
       return Status::Corruption("seal: entries overflow segment capacity");
     }
-    if (e.page != kInvalidPage) {
-      FillPagePayload(e.page, e.bytes, payload_buf_ + cursor);
+    const PageId payload_page = e.page != kInvalidPage ? e.page : e.orig_page;
+    if (payload_page != kInvalidPage) {
+      FillPagePayload(payload_page, e.bytes, payload_buf_ + cursor);
     } else {
       std::memset(payload_buf_ + cursor, 0, e.bytes);
     }
@@ -519,15 +563,37 @@ Status FileBackend::SealSegment(const BackendSegmentRecord& record) {
     std::memcpy(p, &er, sizeof(er));
     p += sizeof(er);
   }
-  const std::vector<uint8_t> rec =
-      BuildRecord(kMetaSeal, meta_body.data(), meta_body.size());
+  const std::vector<uint8_t> rec = BuildRecord(
+      checkpoint ? kMetaCheckpoint : kMetaSeal, meta_body.data(),
+      meta_body.size());
   s = AppendMeta(rec.data(), rec.size());
   if (!s.ok()) return s;
+  // Group-commit mode: durability (and the punches that require it)
+  // arrives with the pipeline's next explicit Sync().
+  if (deferred_sync_) return Status::OK();
   s = SyncBoth();
   if (!s.ok()) return s;
   // Everything appended so far — including the stage-1 free records —
   // is now durable; stage-2 punches are safe.
-  for (PendingReclaim& pr : pending_reclaims_) pr.record_durable = true;
+  for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.record_appended) pr.record_durable = true;
+  }
+  return DrainReclaims(/*punching_allowed=*/true);
+}
+
+Status FileBackend::Sync() {
+  if (data_fd_ < 0 && meta_fd_ < 0) {
+    return Status::InvalidArgument("backend not open");
+  }
+  // Free records queued since the last seal must be on the log before
+  // the fsync that this group commit promises covers them.
+  Status s = DrainReclaims(/*punching_allowed=*/false);
+  if (!s.ok()) return s;
+  s = SyncBoth();
+  if (!s.ok()) return s;
+  for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.record_appended) pr.record_durable = true;
+  }
   return DrainReclaims(/*punching_allowed=*/true);
 }
 
@@ -541,7 +607,7 @@ Status FileBackend::ReclaimSegment(SegmentId id, UpdateCount unow) {
   // is benign — recovery sees the victim still sealed, and its stale
   // entries lose newest-wins to the relocated copies, or faithfully
   // restore the pre-clean state if those copies' seal was lost too.
-  pending_reclaims_.push_back(PendingReclaim{id, unow, false, true});
+  pending_reclaims_.push_back(PendingReclaim{id, unow, false, false, true});
   return Status::OK();
 }
 
@@ -556,8 +622,9 @@ Status FileBackend::RecordDelete(PageId page, uint64_t seq, UpdateCount unow) {
   // lost *reclaim* record, by contrast, is benign: recovery then sees
   // the victim still sealed, and its stale entries lose newest-wins to
   // the relocated copies — or faithfully restore the pre-clean state if
-  // those copies' seal was lost too.)
-  if (config_.backend_fsync) {
+  // those copies' seal was lost too.) In group-commit mode the
+  // pipeline's next Sync() covers the tombstone instead.
+  if (config_.backend_fsync && !deferred_sync_) {
     const auto t0 = std::chrono::steady_clock::now();
     if (::fsync(meta_fd_) != 0) return ErrnoStatus("fsync meta file", errno);
     if (stats_ != nullptr) {
@@ -629,6 +696,14 @@ Status FileBackend::Scan(BackendRecovery* out) {
           std::to_string(gb.num_segments) + " segments of " +
           std::to_string(gb.segment_bytes) + " bytes)");
     }
+    // PR 3 logs (format 0, no checkpoint records) replay unchanged; a
+    // format newer than this reader could hold records we would
+    // misparse as a torn tail and silently truncate.
+    if (gb.format != kMetaFormatPr3 && gb.format != kMetaFormatCheckpoint) {
+      return Status::Corruption(
+          "recovery: metadata log format " + std::to_string(gb.format) +
+          " is newer than this build supports");
+    }
   }
 
   // Replay: the latest record per segment wins. Replay stops at the
@@ -651,7 +726,7 @@ Status FileBackend::Scan(BackendRecovery* out) {
     // Torn-write detection: unordered page writeback can persist a valid
     // header whose body tail never reached the device.
     if (hdr.checksum != RecordChecksum(hdr.type, body, hdr.body_len)) break;
-    if (hdr.type == kMetaSeal) {
+    if (hdr.type == kMetaSeal || hdr.type == kMetaCheckpoint) {
       if (hdr.body_len < sizeof(SealBody)) break;
       SealBody sb;
       std::memcpy(&sb, body, sizeof(sb));
@@ -667,6 +742,7 @@ Status FileBackend::Scan(BackendRecovery* out) {
       rec.open_time = sb.open_time;
       rec.seal_time = sb.seal_time;
       rec.unow = sb.unow;
+      rec.checkpoint = hdr.type == kMetaCheckpoint;
       rec.entries.reserve(sb.entry_count);
       const uint8_t* ep = body + sizeof(sb);
       for (uint64_t i = 0; i < sb.entry_count; ++i) {
@@ -732,12 +808,26 @@ Status FileBackend::Close() {
     result = DrainReclaims(/*punching_allowed=*/false);
     if (result.ok()) result = SyncBoth();
     if (result.ok()) {
-      for (PendingReclaim& pr : pending_reclaims_) pr.record_durable = true;
+      for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.record_appended) pr.record_durable = true;
+  }
       result = DrainReclaims(/*punching_allowed=*/true);
     }
   } else if (data_fd_ >= 0 || meta_fd_ >= 0) {
     result = SyncBoth();
   }
+  ReleaseFds();
+  return result;
+}
+
+// Power-loss simulation: the queued free records and any unsynced
+// appends simply never happen, exactly as if the process died here.
+void FileBackend::Abandon() {
+  pending_reclaims_.clear();
+  ReleaseFds();
+}
+
+void FileBackend::ReleaseFds() {
   if (data_fd_ >= 0) {
     ::close(data_fd_);
     data_fd_ = -1;
@@ -752,9 +842,119 @@ Status FileBackend::Close() {
   }
   std::free(payload_buf_);
   payload_buf_ = nullptr;
-  return result;
 }
 
 #endif  // POSIX
+
+// --- FaultInjectionBackend crash simulation --------------------------------
+
+void FaultInjectionBackend::CrashAfterOps(int64_t ops, uint64_t seed) {
+  crash_seed_ = seed;
+  crash_budget_.store(ops, std::memory_order_release);
+}
+
+bool FaultInjectionBackend::CrashGate(Status* out,
+                                      const BackendSegmentRecord* record) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    *out = CrashedStatus();
+    return false;
+  }
+  // Mutating ops are serialised (one thread drives a backend at a time),
+  // but CrashAfterOps may arm from another thread mid-run; the atomics
+  // make that handoff race-free.
+  if (crash_budget_.load(std::memory_order_relaxed) == kCrashDisarmed) {
+    return true;
+  }
+  if (crash_budget_.fetch_sub(1, std::memory_order_acq_rel) > 0) return true;
+  TearAndDie(record);
+  *out = CrashedStatus();
+  return false;
+}
+
+void FaultInjectionBackend::TearAndDie(const BackendSegmentRecord* record) {
+  const bool file_base =
+      base_->name() == "file" && config_.backend == BackendKind::kFile;
+  // Drop the base first: its queued free records and any other pending
+  // work die with the "process", never reaching the files we tear below.
+  base_->Abandon();
+  crashed_.store(true, std::memory_order_release);
+  if (!file_base) return;
+#ifndef _WIN32
+  Rng rng(crash_seed_);
+  const std::string meta_path =
+      FileBackend::MetaPath(config_.backend_dir, shard_id_);
+  const std::string data_path =
+      FileBackend::DataPath(config_.backend_dir, shard_id_);
+
+  // The crashing record was mid-append: leave the log tail the way an
+  // interrupted writeback would — a clean cut, loose garbage, or a
+  // valid-looking header whose body never fully landed (the torn-record
+  // case Scan's checksums must catch).
+  const uint64_t style = rng.NextBounded(4);
+  int mfd = ::open(meta_path.c_str(), O_WRONLY | O_APPEND);
+  if (mfd >= 0) {
+    if (style == 1 || style == 3) {
+      struct TornHeader {
+        uint32_t magic;
+        uint16_t type;
+        uint16_t reserved;
+        uint64_t body_len;
+        uint64_t checksum;
+      } hdr{0x4C535331u, 1, 0, 64 + rng.NextBounded(4096), rng()};
+      (void)!::write(mfd, &hdr, sizeof(hdr));
+      uint8_t junk[512];
+      const size_t body = static_cast<size_t>(
+          rng.NextBounded(std::min<uint64_t>(hdr.body_len, sizeof(junk))));
+      for (size_t i = 0; i < body; ++i) {
+        junk[i] = static_cast<uint8_t>(rng());
+      }
+      (void)!::write(mfd, junk, body);
+    } else if (style == 2) {
+      uint8_t junk[96];
+      const size_t n = 1 + static_cast<size_t>(rng.NextBounded(sizeof(junk)));
+      for (size_t i = 0; i < n; ++i) {
+        junk[i] = static_cast<uint8_t>(rng());
+      }
+      (void)!::write(mfd, junk, n);
+    }
+    ::close(mfd);
+  }
+
+  // A seal or checkpoint that died mid-payload leaves its slot partially
+  // overwritten. A real torn pwrite leaves every byte at either its old
+  // or its NEW value — so the tear must write a prefix of the payload
+  // the crashing op would actually have produced (same reconstruction as
+  // FileBackend::WriteSegmentRecord), not arbitrary junk: regions an
+  // earlier durable record of this slot references are byte-identical in
+  // the rewrite (Segment::Entry::orig_page keeps dead entries stable),
+  // so only bytes no surviving metadata record describes can change.
+  if (record != nullptr && (style == 3 || rng.NextBounded(2) == 0)) {
+    int dfd = ::open(data_path.c_str(), O_WRONLY);
+    if (dfd >= 0) {
+      std::vector<uint8_t> payload(config_.segment_bytes, 0);
+      uint64_t cursor = 0;
+      for (const Segment::Entry& e : record->entries) {
+        if (cursor + e.bytes > config_.segment_bytes) break;
+        const PageId payload_page =
+            e.page != kInvalidPage ? e.page : e.orig_page;
+        if (payload_page != kInvalidPage) {
+          FillPagePayload(payload_page, e.bytes, payload.data() + cursor);
+        }
+        cursor += e.bytes;
+      }
+      const size_t len =
+          static_cast<size_t>(rng.NextBounded(config_.segment_bytes + 1));
+      if (len > 0) {
+        (void)!::pwrite(dfd, payload.data(), len,
+                        static_cast<off_t>(static_cast<uint64_t>(record->id) *
+                                           config_.segment_bytes));
+      }
+      ::close(dfd);
+    }
+  }
+#else
+  (void)record;
+#endif
+}
 
 }  // namespace lss

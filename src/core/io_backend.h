@@ -1,8 +1,10 @@
 #ifndef LSS_CORE_IO_BACKEND_H_
 #define LSS_CORE_IO_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -32,6 +34,11 @@ struct BackendSegmentRecord {
   UpdateCount seal_time = 0;
   /// Shard clock at seal; recovery restores unow to the max seen.
   UpdateCount unow = 0;
+  /// True when this record snapshots a still-open segment (a checkpoint,
+  /// see SegmentBackend::Checkpoint). Recovery rebuilds a checkpointed
+  /// segment as sealed with the snapshot's entry prefix; a later real
+  /// seal or free record for the same slot supersedes the checkpoint.
+  bool checkpoint = false;
   std::vector<Segment::Entry> entries;
 };
 
@@ -79,8 +86,38 @@ class SegmentBackend {
                       bool recover) = 0;
 
   /// Persists a sealed segment (payload and metadata). Called by the
-  /// shard immediately after the in-memory seal.
+  /// shard immediately after the in-memory seal (or by its seal pipeline
+  /// when StoreConfig::async_seal is on).
   virtual Status SealSegment(const BackendSegmentRecord& record) = 0;
+
+  /// Persists a snapshot of a partially-filled *open* segment
+  /// (`record.checkpoint` true): payload prefix plus a checkpoint
+  /// metadata record. On recovery the snapshot acts as a seal record
+  /// unless a later seal or free record supersedes it, so a crash loses
+  /// at most the appends since the last checkpoint instead of the whole
+  /// open segment. Backends that persist nothing accept and ignore it.
+  virtual Status Checkpoint(const BackendSegmentRecord& record) {
+    (void)record;
+    return Status::OK();
+  }
+
+  /// Group-commit hook: makes every operation accepted so far durable
+  /// with (at most) one fsync pair, and releases any deferred
+  /// space-reclamation work that required durability first. The seal
+  /// pipeline calls this once per drained batch instead of paying one
+  /// fsync per seal.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// When on, SealSegment / Checkpoint / RecordDelete append without
+  /// syncing and durability comes from explicit Sync() calls (the group
+  /// commit mode the async pipeline runs in). When off (default) the
+  /// backend syncs per operation as StoreConfig::backend_fsync demands.
+  virtual void SetDeferredSync(bool on) { (void)on; }
+
+  /// Power-loss simulation hook for crash tests: releases device
+  /// resources WITHOUT flushing queued records or syncing, as if the
+  /// process died this instant. Default backends just Close().
+  virtual void Abandon() { Close(); }
 
   /// Releases a reclaimed segment's device space. Called after the
   /// cleaner reset a victim.
@@ -185,6 +222,10 @@ class FileBackend : public SegmentBackend {
   Status Open(const StoreConfig& config, uint32_t shard_id,
               uint32_t num_shards, StoreStats* stats, bool recover) override;
   Status SealSegment(const BackendSegmentRecord& record) override;
+  Status Checkpoint(const BackendSegmentRecord& record) override;
+  Status Sync() override;
+  void SetDeferredSync(bool on) override { deferred_sync_ = on; }
+  void Abandon() override;
   Status ReclaimSegment(SegmentId id, UpdateCount unow) override;
   Status RecordDelete(PageId page, uint64_t seq, UpdateCount unow) override;
   Status ReadPagePayload(SegmentId id, uint64_t offset, PageId page,
@@ -200,17 +241,25 @@ class FileBackend : public SegmentBackend {
  private:
   Status AppendMeta(const void* data, size_t len);
   Status SyncBoth();
+  // Shared payload-write + metadata-append path of SealSegment and
+  // Checkpoint (they differ only in record type and durability rules).
+  Status WriteSegmentRecord(const BackendSegmentRecord& record,
+                            bool checkpoint);
+  void ReleaseFds();
 
-  // A reclaimed segment moves through two durability stages before its
-  // payload is hole-punched, so the punch can never destroy data the
-  // metadata log still references (see DrainReclaims in the .cc; the
-  // shard orders the ReclaimSegment call itself relative to the
-  // relocated pages' seals).
+  // A reclaimed segment moves through three stages before its payload is
+  // hole-punched, so the punch can never destroy data the metadata log
+  // still references (see DrainReclaims in the .cc; the shard orders the
+  // ReclaimSegment call itself relative to the relocated pages' seals).
+  // `record_appended` and `record_durable` are distinct in group-commit
+  // mode: several seals may pass between the append and the Sync() that
+  // makes it durable, and the record must land exactly once.
   struct PendingReclaim {
     SegmentId id;
     UpdateCount unow;
-    bool record_durable;  // free record appended AND fsync'd
-    bool punch;           // cleared when the slot is resealed first
+    bool record_appended;  // free record written to the log
+    bool record_durable;   // ...and covered by an fsync
+    bool punch;            // cleared when the slot is resealed first
   };
 
   Status DrainReclaims(bool punching_allowed);
@@ -226,6 +275,9 @@ class FileBackend : public SegmentBackend {
   int read_fd_ = -1;
   int meta_fd_ = -1;
   bool direct_io_ = false;
+  /// Group-commit mode (SetDeferredSync): per-op fsyncs are skipped and
+  /// Sync() supplies durability + releases deferred punches.
+  bool deferred_sync_ = false;
   /// Append position in the metadata log.
   uint64_t meta_offset_ = 0;
   /// Reused pwrite buffer for a whole segment (aligned when direct_io_).
@@ -234,8 +286,10 @@ class FileBackend : public SegmentBackend {
 
 /// Test double: forwards every hook to a base backend (NullBackend by
 /// default) but fails the Nth seal / reclaim / delete with a configured
-/// status. Exercises the store's backend-error paths — sticky errors in
-/// Flush, cleaning aborts — without a real device.
+/// status, and can simulate a whole-process power loss (CrashAfterOps).
+/// Exercises the store's backend-error paths — sticky errors in Flush,
+/// cleaning aborts — and drives the crash-recovery torture harness
+/// (tests/integration/crash_recovery_test.cc).
 class FaultInjectionBackend : public SegmentBackend {
  public:
   explicit FaultInjectionBackend(
@@ -260,19 +314,55 @@ class FaultInjectionBackend : public SegmentBackend {
   int64_t seals() const { return seals_; }
   int64_t reclaims() const { return reclaims_; }
   int64_t deletes() const { return deletes_; }
+  int64_t checkpoints() const { return checkpoints_; }
+  int64_t syncs() const { return syncs_; }
+
+  /// Simulated power loss: the next `ops` mutating operations (seals,
+  /// checkpoints, reclaims, deletes, syncs) are forwarded normally, then
+  /// the one after that "kills the process" mid-operation — when the
+  /// base is a file backend its durable files are torn the way an
+  /// interrupted writeback would leave them (a truncated or checksum-
+  /// corrupt metadata record at the log tail and, for a seal or
+  /// checkpoint, a partial payload overwrite of the crashing slot; the
+  /// tear style is drawn from `seed`) — the base is Abandon()ed so none
+  /// of its queued records get flushed, and every later call fails.
+  /// Arming is thread-safe: the torture harness arms from the driver
+  /// thread while a seal pipeline is applying operations.
+  void CrashAfterOps(int64_t ops, uint64_t seed);
+  bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
 
   Status Open(const StoreConfig& config, uint32_t shard_id,
               uint32_t num_shards, StoreStats* stats, bool recover) override {
+    config_ = config;
+    shard_id_ = shard_id;
     return base_->Open(config, shard_id, num_shards, stats, recover);
   }
   Status SealSegment(const BackendSegmentRecord& record) override {
+    if (Status s; !CrashGate(&s, &record)) return s;
     if (fail_seal_after_ >= 0 && seals_ >= fail_seal_after_) {
       return seal_error_;
     }
     ++seals_;
     return base_->SealSegment(record);
   }
+  Status Checkpoint(const BackendSegmentRecord& record) override {
+    if (Status s; !CrashGate(&s, &record)) return s;
+    ++checkpoints_;
+    return base_->Checkpoint(record);
+  }
+  Status Sync() override {
+    if (Status s; !CrashGate(&s, nullptr)) return s;
+    ++syncs_;
+    return base_->Sync();
+  }
+  void SetDeferredSync(bool on) override { base_->SetDeferredSync(on); }
+  void Abandon() override {
+    if (!crashed()) base_->Abandon();
+  }
   Status ReclaimSegment(SegmentId id, UpdateCount unow) override {
+    if (Status s; !CrashGate(&s, nullptr)) return s;
     if (fail_reclaim_after_ >= 0 && reclaims_ >= fail_reclaim_after_) {
       return reclaim_error_;
     }
@@ -280,6 +370,7 @@ class FaultInjectionBackend : public SegmentBackend {
     return base_->ReclaimSegment(id, unow);
   }
   Status RecordDelete(PageId page, uint64_t seq, UpdateCount unow) override {
+    if (Status s; !CrashGate(&s, nullptr)) return s;
     if (fail_delete_after_ >= 0 && deletes_ >= fail_delete_after_) {
       return delete_error_;
     }
@@ -288,23 +379,51 @@ class FaultInjectionBackend : public SegmentBackend {
   }
   Status ReadPagePayload(SegmentId id, uint64_t offset, PageId page,
                          uint32_t bytes, std::vector<uint8_t>* out) override {
+    if (crashed()) return CrashedStatus();
     return base_->ReadPagePayload(id, offset, page, bytes, out);
   }
-  Status Scan(BackendRecovery* out) override { return base_->Scan(out); }
-  Status Close() override { return base_->Close(); }
+  Status Scan(BackendRecovery* out) override {
+    if (crashed()) return CrashedStatus();
+    return base_->Scan(out);
+  }
+  Status Close() override {
+    // After a simulated crash the device is gone: the base was already
+    // abandoned and nothing further may be flushed.
+    if (crashed()) return CrashedStatus();
+    return base_->Close();
+  }
   std::string name() const override { return "fault(" + base_->name() + ")"; }
 
  private:
+  static Status CrashedStatus() {
+    return Status::Corruption("simulated crash: backend is dead");
+  }
+  // Returns true when the op may proceed; false with *out set when the
+  // backend is (now) dead. `record` names the slot a crashing seal or
+  // checkpoint was about to overwrite, for the partial-payload tear.
+  bool CrashGate(Status* out, const BackendSegmentRecord* record);
+  void TearAndDie(const BackendSegmentRecord* record);
+
   std::unique_ptr<SegmentBackend> base_;
+  StoreConfig config_;
+  uint32_t shard_id_ = 0;
   int64_t seals_ = 0;
   int64_t reclaims_ = 0;
   int64_t deletes_ = 0;
+  int64_t checkpoints_ = 0;
+  int64_t syncs_ = 0;
   int64_t fail_seal_after_ = -1;
   int64_t fail_reclaim_after_ = -1;
   int64_t fail_delete_after_ = -1;
   Status seal_error_;
   Status reclaim_error_;
   Status delete_error_;
+
+  static constexpr int64_t kCrashDisarmed =
+      std::numeric_limits<int64_t>::min() / 2;
+  std::atomic<int64_t> crash_budget_{kCrashDisarmed};
+  std::atomic<bool> crashed_{false};
+  uint64_t crash_seed_ = 0;
 };
 
 /// Builds the backend selected by `config.backend` for one shard. Never

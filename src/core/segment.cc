@@ -26,7 +26,7 @@ uint32_t Segment::Append(PageId page, uint32_t bytes, double up2,
   assert(HasRoomFor(bytes));
   assert(page != kInvalidPage);
   entries_.push_back(
-      Entry{page, bytes, seq, last_update, up2, exact_upf, used_bytes_});
+      Entry{page, bytes, seq, last_update, up2, exact_upf, used_bytes_, page});
   used_bytes_ += bytes;
   live_bytes_ += bytes;
   live_count_ += 1;
@@ -38,13 +38,14 @@ uint32_t Segment::Append(PageId page, uint32_t bytes, double up2,
 uint32_t Segment::AppendDead(uint32_t bytes, double up2) {
   assert(state_ == SegmentState::kOpen);
   assert(HasRoomFor(bytes));
-  entries_.push_back(Entry{kInvalidPage, bytes, 0, 0, up2, 0.0, used_bytes_});
+  entries_.push_back(
+      Entry{kInvalidPage, bytes, 0, 0, up2, 0.0, used_bytes_, kInvalidPage});
   used_bytes_ += bytes;
   up2_accum_ += up2;
   return static_cast<uint32_t>(entries_.size() - 1);
 }
 
-void Segment::Kill(uint32_t idx, double exact_upf) {
+void Segment::Kill(uint32_t idx, double exact_upf, bool dead_on_arrival) {
   assert(state_ != SegmentState::kFree);
   assert(idx < entries_.size());
   Entry& e = entries_[idx];
@@ -53,6 +54,7 @@ void Segment::Kill(uint32_t idx, double exact_upf) {
   live_count_ -= 1;
   exact_upf_sum_ -= exact_upf;
   e.page = kInvalidPage;
+  e.doa = dead_on_arrival;
 }
 
 void Segment::Seal(UpdateCount now) {

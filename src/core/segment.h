@@ -43,6 +43,23 @@ class Segment {
     /// Byte offset of this version inside the segment payload (the sum
     /// of the preceding entries' sizes); fixed at append time.
     uint64_t offset = 0;
+    /// The page this entry was appended for, preserved across Kill (in
+    /// memory only, never serialised directly). Two crash-safety roles:
+    /// a backend that rewrites a slot in place — open-segment
+    /// checkpoints, reseals of the same segment — uses it to regenerate
+    /// byte-identical content for dead regions, so a torn rewrite can
+    /// never corrupt payload that an earlier durable record for the slot
+    /// still references; and StoreShard::MakeSealRecord uses it to
+    /// record in-place-killed entries as *live* with their original
+    /// identity, so recovery can resurrect the old version when the
+    /// successor's record was lost to the crash (newest-wins by seq
+    /// picks the successor whenever it did survive).
+    PageId orig_page = kInvalidPage;
+    /// Dead on arrival: a superseded buffered duplicate killed at append
+    /// time. Unlike in-place kills its append-sequence order relative to
+    /// the successor is not meaningful (the flush sorts the batch), so
+    /// it must never be resurrected and is always recorded dead.
+    bool doa = false;
   };
 
   explicit Segment(uint32_t capacity_bytes) : capacity_(capacity_bytes) {}
@@ -79,8 +96,10 @@ class Segment {
 
   /// Marks entry `idx` dead because its page was overwritten or deleted.
   /// Mirrors §5.2.1: subtracts the page size from the live bytes and
-  /// decrements C.
-  void Kill(uint32_t idx, double exact_upf);
+  /// decrements C. `dead_on_arrival` marks a superseded buffered
+  /// duplicate, which durable records must never resurrect (see
+  /// Entry::doa).
+  void Kill(uint32_t idx, double exact_upf, bool dead_on_arrival = false);
 
   /// Transitions kOpen -> kSealed. The segment's up2 becomes the mean of
   /// the appended pages' up2 values (§5.2.2 "the value for up2 for the new

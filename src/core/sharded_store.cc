@@ -118,6 +118,22 @@ Status ShardedStore::Flush() {
   return result;
 }
 
+Status ShardedStore::Checkpoint() {
+  Status result = Status::OK();
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    Status st = s->shard->Checkpoint();
+    if (!st.ok() && result.ok()) result = std::move(st);
+  }
+  return result;
+}
+
+Status ShardedStore::ReadPage(PageId page, std::vector<uint8_t>* out) const {
+  const Shard& s = *shards_[ShardOf(page)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.shard->ReadPage(page, out);
+}
+
 bool ShardedStore::Contains(PageId page) const {
   const Shard& s = *shards_[ShardOf(page)];
   std::lock_guard<std::mutex> lock(s.mu);
@@ -134,7 +150,9 @@ StoreStats ShardedStore::AggregatedStats() const {
   StoreStats total;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);
-    total.Merge(s->shard->stats());
+    // Snapshot, not stats(): async mode keeps device and group-fsync
+    // counters on the shard's I/O thread.
+    total.Merge(s->shard->StatsSnapshot());
   }
   return total;
 }
@@ -142,7 +160,7 @@ StoreStats ShardedStore::AggregatedStats() const {
 void ShardedStore::ResetMeasurement() {
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);
-    s->shard->mutable_stats().ResetMeasurement();
+    s->shard->ResetMeasurement();
   }
 }
 

@@ -99,6 +99,17 @@ class ShardedStore {
   /// Drains every shard's write buffer.
   Status Flush();
 
+  /// Durable barrier across all shards: flushes buffers, checkpoints
+  /// open segments and drains every shard's seal pipeline. On return
+  /// every previously acknowledged write survives a crash. First error
+  /// wins, but every shard is attempted.
+  Status Checkpoint();
+
+  /// Routes to the owning shard and reads the page's payload under its
+  /// lock (see StoreShard::ReadPage; in async-seal mode this waits for
+  /// the covering seal to reach the device).
+  Status ReadPage(PageId page, std::vector<uint8_t>* out) const;
+
   /// True if `page` currently has a live version (buffered or stored).
   bool Contains(PageId page) const;
 

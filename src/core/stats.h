@@ -60,6 +60,23 @@ class StoreStats {
   /// Wall-clock seconds spent inside fsync.
   double device_fsync_seconds = 0.0;
 
+  // --- Async seal pipeline (all zero in synchronous mode; see
+  // --- core/seal_pipeline.h) ------------------------------------------
+
+  /// Operations (seals, reclaims, deletes, checkpoints) handed to the
+  /// per-shard I/O thread.
+  uint64_t seal_queue_enqueued = 0;
+  /// Times a writer blocked because the seal queue was full
+  /// (backpressure events, not wall-clock).
+  uint64_t seal_queue_stalls = 0;
+  /// Group-commit fsync rounds issued by the I/O thread.
+  uint64_t group_fsyncs = 0;
+  /// Operations covered by those rounds; group_fsync_ops / group_fsyncs
+  /// is the achieved commit-batch size.
+  uint64_t group_fsync_ops = 0;
+  /// Open-segment checkpoint records persisted (async or periodic).
+  uint64_t checkpoints_written = 0;
+
   /// Write amplification (Equation 2), measured: moved pages per physical
   /// user page write.
   double WriteAmplification() const {
@@ -112,6 +129,11 @@ class StoreStats {
     device_bytes_punched += other.device_bytes_punched;
     device_write_seconds += other.device_write_seconds;
     device_fsync_seconds += other.device_fsync_seconds;
+    seal_queue_enqueued += other.seal_queue_enqueued;
+    seal_queue_stalls += other.seal_queue_stalls;
+    group_fsyncs += other.group_fsyncs;
+    group_fsync_ops += other.group_fsync_ops;
+    checkpoints_written += other.checkpoints_written;
     clean_emptiness_.Merge(other.clean_emptiness_);
   }
 
@@ -133,6 +155,11 @@ class StoreStats {
     device_bytes_punched = 0;
     device_write_seconds = 0.0;
     device_fsync_seconds = 0.0;
+    seal_queue_enqueued = 0;
+    seal_queue_stalls = 0;
+    group_fsyncs = 0;
+    group_fsync_ops = 0;
+    checkpoints_written = 0;
     clean_emptiness_.Reset();
   }
 

@@ -87,6 +87,12 @@ class LogStructuredStore {
   /// Drains any buffered user writes into segments.
   Status Flush() { return shard_.Flush(); }
 
+  /// Durable barrier: flushes the buffer, checkpoints every non-empty
+  /// open segment and waits until everything emitted so far — async
+  /// mode: the whole seal queue — is applied and synced. Afterwards
+  /// every previously acknowledged write survives a crash.
+  Status Checkpoint() { return shard_.Checkpoint(); }
+
   /// True if `page` currently has a live version (buffered or stored).
   bool Contains(PageId page) const { return shard_.Contains(page); }
 
@@ -102,8 +108,14 @@ class LogStructuredStore {
   // --- Introspection (used by policies, benches and tests) -----------
 
   const StoreConfig& config() const { return shard_.config(); }
+  /// Shard-side counters; async mode keeps device_* / group-fsync
+  /// counters with the I/O thread — StatsSnapshot() merges both.
   const StoreStats& stats() const { return shard_.stats(); }
   StoreStats& mutable_stats() { return shard_.mutable_stats(); }
+  StoreStats StatsSnapshot() const { return shard_.StatsSnapshot(); }
+  /// Zeroes all counters (draining the seal pipeline first in async
+  /// mode, so no in-flight op straddles the reset).
+  void ResetMeasurement() { shard_.ResetMeasurement(); }
   const CleaningPolicy& policy() const { return shard_.policy(); }
 
   /// The underlying shard. Policies and victim-selection helpers operate

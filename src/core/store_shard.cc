@@ -31,6 +31,11 @@ StoreShard::StoreShard(const StoreConfig& config,
   for (uint32_t i = config_.num_segments; i > 0; --i) {
     free_list_.push_back(i - 1);
   }
+  if (config_.async_seal) {
+    pipeline_ = std::make_unique<SealPipeline>(
+        backend_.get(), config_.seal_queue_depth, config_.backend_fsync);
+    seal_ticket_.assign(config_.num_segments, 0);
+  }
 }
 
 StoreShard::~StoreShard() {
@@ -38,7 +43,14 @@ StoreShard::~StoreShard() {
 }
 
 Status StoreShard::OpenBackend(bool recover) {
-  return backend_->Open(config_, shard_id_, num_shards_, &stats_, recover);
+  // In async mode the backend's device counters are updated by the I/O
+  // thread, so they must land in pipeline-owned storage, not in stats_.
+  StoreStats* sink = pipeline_ ? pipeline_->backend_stats() : &stats_;
+  Status s = backend_->Open(config_, shard_id_, num_shards_, sink, recover);
+  // Start after Open: Scan (during a recovering open) still runs on the
+  // caller's thread, safely — the queue is empty until the first write.
+  if (s.ok() && pipeline_) pipeline_->Start();
+  return s;
 }
 
 Status StoreShard::Close() {
@@ -67,6 +79,13 @@ Status StoreShard::Close() {
   // safe to announce before the backend's final sync.
   Status s = ReleaseReclaims();
   if (!s.ok() && result.ok()) result = s;
+  // Drain and join the I/O thread: every queued seal must reach the
+  // device before the backend closes, so no acknowledged write is lost
+  // when Close races in-flight seals.
+  if (pipeline_) {
+    s = pipeline_->Shutdown();
+    if (!s.ok() && result.ok()) result = s;
+  }
   s = backend_->Close();
   if (!s.ok() && result.ok()) result = s;
   return result;
@@ -117,6 +136,7 @@ void StoreShard::KillOldVersion(PageId page, const PageLocation& loc) {
 
 Status StoreShard::Write(PageId page, uint32_t bytes) {
   if (closed_) return Status::InvalidArgument("store is closed");
+  AbsorbPipelineError();
   if (!sticky_error_.ok()) return sticky_error_;
   if (bytes == 0) bytes = config_.page_bytes;
   if (bytes > config_.segment_bytes) {
@@ -190,6 +210,7 @@ Status StoreShard::Write(PageId page, uint32_t bytes) {
 
 Status StoreShard::Delete(PageId page) {
   if (closed_) return Status::InvalidArgument("store is closed");
+  AbsorbPipelineError();
   if (!sticky_error_.ok()) return sticky_error_;
   if (!table_.Present(page)) {
     return Status::NotFound("page not present");
@@ -207,16 +228,33 @@ Status StoreShard::Delete(PageId page) {
   m.loc = PageLocation{};
   m.bytes = 0;
   ++stats_.deletes;
-  Status s = backend_->RecordDelete(page, ++write_seq_, unow_);
+  Status s = EmitDelete(page, ++write_seq_, unow_);
+  if (s.ok()) s = MaybePeriodicCheckpoint();
   if (!s.ok()) sticky_error_ = s;
   return s;
 }
 
 Status StoreShard::Flush() {
   if (closed_) return Status::InvalidArgument("store is closed");
+  AbsorbPipelineError();
   if (!sticky_error_.ok()) return sticky_error_;
   if (buffer_.Empty()) return Status::OK();
   Status s = FlushUserBuffer();
+  if (!s.ok()) sticky_error_ = s;
+  return s;
+}
+
+Status StoreShard::Checkpoint() {
+  if (closed_) return Status::InvalidArgument("store is closed");
+  AbsorbPipelineError();
+  if (!sticky_error_.ok()) return sticky_error_;
+  Status s = Status::OK();
+  if (!buffer_.Empty()) s = FlushUserBuffer();
+  // Snapshot every non-empty open segment.
+  if (s.ok()) s = CheckpointOpenSegments();
+  ops_since_checkpoint_ = 0;
+  // The barrier: wait out the queue (async) and make it all durable.
+  if (s.ok()) s = pipeline_ ? pipeline_->Drain() : backend_->Sync();
   if (!s.ok()) sticky_error_ = s;
   return s;
 }
@@ -230,6 +268,17 @@ Status StoreShard::ReadPage(PageId page, std::vector<uint8_t>* out) const {
   const Segment& seg = segments_[m.loc.segment];
   if (seg.state() != SegmentState::kSealed) {
     return Status::InvalidArgument("page in an unsealed segment");
+  }
+  // Async mode: the in-memory seal may still be queued; wait until the
+  // I/O thread has written the payload before reading it back. The
+  // pipeline thread never takes the shard lock, so waiting under it is
+  // deadlock-free.
+  if (pipeline_ != nullptr) {
+    const uint64_t ticket = seal_ticket_[m.loc.segment];
+    if (ticket != 0) {
+      Status s = pipeline_->WaitApplied(ticket);
+      if (!s.ok()) return s;
+    }
   }
   return backend_->ReadPagePayload(m.loc.segment,
                                    seg.entries()[m.loc.index].offset, page,
@@ -320,8 +369,9 @@ Status StoreShard::PlacePage(PageId page, uint32_t bytes, double up2,
   if (dead_on_arrival) {
     // A queued duplicate: the physical write happens, the version is
     // immediately garbage, and the page table keeps pointing at the
-    // newer copy.
-    seg->Kill(idx, exact_upf);
+    // newer copy. Marked dead-on-arrival so durable records never
+    // resurrect it (the flush sort makes its seq order meaningless).
+    seg->Kill(idx, exact_upf, /*dead_on_arrival=*/true);
   } else {
     table_.GetMutable(page).loc = PageLocation{id, idx};
   }
@@ -369,18 +419,151 @@ Segment* StoreShard::OpenSegmentFor(uint32_t log, uint32_t stream, bool is_gc,
 }
 
 BackendSegmentRecord StoreShard::MakeSealRecord(SegmentId id,
-                                                const Segment& seg) const {
+                                                const Segment& seg,
+                                                bool checkpoint) const {
   BackendSegmentRecord rec;
   rec.id = id;
   rec.log = seg.log();
   rec.source = seg.source();
   rec.open_time = seg.open_time();
-  rec.seal_time = seg.seal_time();
+  // A checkpointed segment has no seal time yet; the clock at snapshot
+  // time stands in (recovery rebuilds it as sealed-at-that-instant,
+  // which is what age-based policies should see).
+  rec.seal_time = checkpoint ? unow_ : seg.seal_time();
   rec.unow = unow_;
-  // Entry list snapshotted as-is: page is kInvalidPage for entries
-  // already dead at seal time.
+  rec.checkpoint = checkpoint;
   rec.entries = seg.entries();
+  // In-place-killed entries are recorded *live* under their original
+  // identity: their successor always carries a larger append sequence,
+  // so replay's newest-wins picks the successor whenever its record
+  // survived — and legitimately resurrects this version when the crash
+  // took the successor's record with it. Without this, re-recording a
+  // segment (a later checkpoint, or the seal after one) would erase the
+  // only durable copy of a page whose newest version never reached the
+  // device. Dead-on-arrival duplicates stay dead: the flush sort makes
+  // their seq order against the successor meaningless.
+  for (Segment::Entry& e : rec.entries) {
+    if (e.page == kInvalidPage && !e.doa && e.orig_page != kInvalidPage) {
+      e.page = e.orig_page;
+    }
+  }
   return rec;
+}
+
+Status StoreShard::EnqueueOp(SealPipeline::Op op, uint64_t* ticket_out) {
+  bool stalled = false;
+  const uint64_t ticket = pipeline_->Enqueue(std::move(op), &stalled);
+  if (ticket == 0) {
+    const Status e = pipeline_->error();
+    return e.ok() ? Status::InvalidArgument("seal pipeline is stopped") : e;
+  }
+  ++stats_.seal_queue_enqueued;
+  if (stalled) ++stats_.seal_queue_stalls;
+  if (ticket_out != nullptr) *ticket_out = ticket;
+  return Status::OK();
+}
+
+Status StoreShard::EmitSeal(SegmentId id, const Segment& seg) {
+  ++ops_since_checkpoint_;
+  if (pipeline_ == nullptr) {
+    return backend_->SealSegment(MakeSealRecord(id, seg));
+  }
+  SealPipeline::Op op;
+  op.kind = SealPipeline::Op::Kind::kSeal;
+  op.record = MakeSealRecord(id, seg);
+  return EnqueueOp(std::move(op), &seal_ticket_[id]);
+}
+
+Status StoreShard::EmitCheckpoint(SegmentId id, const Segment& seg) {
+  if (pipeline_ == nullptr) {
+    Status s = backend_->Checkpoint(MakeSealRecord(id, seg,
+                                                   /*checkpoint=*/true));
+    if (s.ok()) ++stats_.checkpoints_written;
+    return s;
+  }
+  SealPipeline::Op op;
+  op.kind = SealPipeline::Op::Kind::kCheckpoint;
+  op.record = MakeSealRecord(id, seg, /*checkpoint=*/true);
+  return EnqueueOp(std::move(op));
+}
+
+Status StoreShard::EmitReclaim(SegmentId id, UpdateCount unow) {
+  ++ops_since_checkpoint_;
+  if (pipeline_ == nullptr) return backend_->ReclaimSegment(id, unow);
+  SealPipeline::Op op;
+  op.kind = SealPipeline::Op::Kind::kReclaim;
+  op.segment = id;
+  op.unow = unow;
+  return EnqueueOp(std::move(op));
+}
+
+Status StoreShard::EmitDelete(PageId page, uint64_t seq, UpdateCount unow) {
+  ++ops_since_checkpoint_;
+  if (pipeline_ == nullptr) return backend_->RecordDelete(page, seq, unow);
+  SealPipeline::Op op;
+  op.kind = SealPipeline::Op::Kind::kDelete;
+  op.page = page;
+  op.seq = seq;
+  op.unow = unow;
+  return EnqueueOp(std::move(op));
+}
+
+Status StoreShard::CheckpointGcDirtyOpen(SegmentId skip) {
+  if (gc_dirty_open_.empty()) return Status::OK();
+  std::vector<SegmentId> ids(gc_dirty_open_.begin(), gc_dirty_open_.end());
+  std::sort(ids.begin(), ids.end());
+  for (SegmentId id : ids) {
+    if (id == skip) continue;
+    const Segment& seg = segments_[id];
+    if (seg.state() != SegmentState::kOpen || seg.entries().empty()) continue;
+    Status s = EmitCheckpoint(id, seg);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status StoreShard::CheckpointOpenSegments() {
+  std::vector<uint64_t> open_keys;
+  open_keys.reserve(open_segments_.size());
+  for (const auto& [key, id] : open_segments_) {
+    (void)id;
+    open_keys.push_back(key);
+  }
+  std::sort(open_keys.begin(), open_keys.end());
+  for (uint64_t key : open_keys) {
+    const SegmentId id = open_segments_[key];
+    if (segments_[id].entries().empty()) continue;
+    Status s = EmitCheckpoint(id, segments_[id]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status StoreShard::MaybePeriodicCheckpoint() {
+  if (!CheckpointingEnabled() ||
+      ops_since_checkpoint_ < config_.checkpoint_interval_ops) {
+    return Status::OK();
+  }
+  ops_since_checkpoint_ = 0;
+  return CheckpointOpenSegments();
+}
+
+void StoreShard::AbsorbPipelineError() {
+  if (pipeline_ == nullptr || !sticky_error_.ok()) return;
+  Status s = pipeline_->error();
+  if (!s.ok()) sticky_error_ = s;
+}
+
+StoreStats StoreShard::StatsSnapshot() const {
+  StoreStats s = stats_;
+  if (pipeline_ != nullptr) s.Merge(pipeline_->StatsSnapshot());
+  return s;
+}
+
+void StoreShard::ResetMeasurement() {
+  // Drain first so no in-flight op's counters straddle the reset.
+  if (pipeline_ != nullptr) pipeline_->ResetStats();
+  stats_.ResetMeasurement();
 }
 
 Status StoreShard::SealOpenSegment(uint32_t log, uint32_t stream) {
@@ -405,24 +588,37 @@ Status StoreShard::SealOpenSegment(uint32_t log, uint32_t stream) {
   // replay resolves the slot to its new contents.
   for (size_t i = 0; i < reclaim_queue_.size(); ++i) {
     if (reclaim_queue_[i].id != id) continue;
-    Status s = backend_->ReclaimSegment(id, reclaim_queue_[i].unow);
+    // The forced-out free record erases the victim's entries from
+    // replay. With checkpointing on, first persist every open segment
+    // still holding GC-moved pages, so the relocated copies precede the
+    // free record on the device — this closes the residual crash window
+    // documented at reclaim_queue_.
+    if (CheckpointingEnabled()) {
+      Status cs = CheckpointGcDirtyOpen(id);
+      if (!cs.ok()) return cs;
+    }
+    Status s = EmitReclaim(id, reclaim_queue_[i].unow);
     if (!s.ok()) return s;
     reclaim_queue_.erase(reclaim_queue_.begin() +
                          static_cast<ptrdiff_t>(i));
     break;
   }
 
-  Status s = backend_->SealSegment(MakeSealRecord(id, seg));
+  Status s = EmitSeal(id, seg);
   if (!s.ok()) return s;
 
   // Once no open segment holds GC-moved pages, every relocated page is
-  // sealed (durable on a real backend) and the withheld victim reclaims
-  // can safely reach the device.
+  // sealed (durable on a real backend, or ordered ahead of any later
+  // free record in the pipeline queue) and the withheld victim reclaims
+  // can reach the device — in checkpoint mode only those whose dead
+  // entries' successors are recorded too (ReleaseSafeReclaims).
   gc_dirty_open_.erase(id);
   if (gc_dirty_open_.empty() && !reclaim_queue_.empty()) {
-    return ReleaseReclaims();
+    Status r =
+        CheckpointingEnabled() ? ReleaseSafeReclaims() : ReleaseReclaims();
+    if (!r.ok()) return r;
   }
-  return Status::OK();
+  return MaybePeriodicCheckpoint();
 }
 
 SegmentId StoreShard::AllocateSegment(uint32_t log) {
@@ -441,6 +637,40 @@ SegmentId StoreShard::AllocateSegment(uint32_t log) {
     }
   }
   if (free_list_.empty()) return kInvalidSegment;
+  if (CheckpointingEnabled() && !reclaim_queue_.empty()) {
+    // Crash safety: never reseal a slot whose free record is still
+    // withheld. The rewrite's payload pwrite would tear regions that the
+    // slot's still-live durable record references, and when the victim's
+    // relocated copies land in the very same slot (the cleaner reuses
+    // just-freed victims immediately) no checkpoint elsewhere can save
+    // them. Prefer any non-withheld free slot; relative order of the
+    // rest is preserved so this stays deterministic.
+    auto pick_non_withheld = [this](SegmentId* out) {
+      for (size_t i = free_list_.size(); i > 0; --i) {
+        if (!IsWithheld(free_list_[i - 1])) {
+          *out = free_list_[i - 1];
+          free_list_.erase(free_list_.begin() + static_cast<ptrdiff_t>(i - 1));
+          return true;
+        }
+      }
+      return false;
+    };
+    SegmentId id = kInvalidSegment;
+    if (pick_non_withheld(&id)) return id;
+    // Only withheld slots remain. A safe release round (checkpoint the
+    // opens, emit the frees whose victims have no unplaced pages or
+    // unrecorded successors) usually clears some — it is unplaced-aware,
+    // so it is valid mid-clean too. If nothing clears, fall through to
+    // plain reuse: the residual PR 3 window, reachable only by policies
+    // that keep more GC destinations open at once than there are spare
+    // free slots.
+    Status s = ReleaseSafeReclaims();
+    if (!s.ok()) {
+      sticky_error_ = s;
+      return kInvalidSegment;
+    }
+    if (pick_non_withheld(&id)) return id;
+  }
   const SegmentId id = free_list_.back();
   free_list_.pop_back();
   return id;
@@ -456,12 +686,25 @@ uint64_t StoreShard::HarvestVictims(const std::vector<SegmentId>& victims,
     ++stats_.segments_cleaned;
     reclaimed += seg.available_bytes();
     const double seg_up2 = seg.up2();
+    std::vector<PageId> pending;
     for (const Segment::Entry& e : seg.entries()) {
-      if (e.page == kInvalidPage) continue;
+      if (e.page == kInvalidPage) {
+        // The victim's durable record may still list this entry live
+        // (resurrectable); its free record must not erase it before the
+        // successor version is recorded. Note successors that are not
+        // yet (write buffer / mid-placement) — the free record waits for
+        // them in checkpoint mode (ReleaseSafeReclaims).
+        if (CheckpointingEnabled() && !e.doa &&
+            e.orig_page != kInvalidPage && !SuccessorRecorded(e.orig_page)) {
+          pending.push_back(e.orig_page);
+        }
+        continue;
+      }
       MovedPage mp;
       mp.page = e.page;
       mp.bytes = e.bytes;
       mp.up2 = seg_up2;
+      mp.from = id;
       mp.exact_upf = oracle_ ? oracle_(e.page) : 0.0;
       if (oracle_) {
         mp.est_upf = mp.exact_upf;
@@ -472,20 +715,87 @@ uint64_t StoreShard::HarvestVictims(const std::vector<SegmentId>& victims,
       }
       moved->push_back(mp);
     }
+    uint32_t harvested_live = 0;
+    for (const Segment::Entry& e : seg.entries()) {
+      if (e.page != kInvalidPage) ++harvested_live;
+    }
     seg.Reset();
     free_list_.push_back(id);
     // The backend is told later (ReleaseReclaims): a durable free record
     // now would let a crash erase this victim's entries while its moved
     // pages are still in unsealed destinations.
-    reclaim_queue_.push_back(QueuedReclaim{id, unow_});
+    reclaim_queue_.push_back(
+        QueuedReclaim{id, unow_, std::move(pending), harvested_live});
   }
   return reclaimed;
+}
+
+bool StoreShard::SuccessorRecorded(PageId page) const {
+  // Absent: the delete's tombstone was emitted (and precedes any free
+  // record in log order). Otherwise the current version must sit at a
+  // real entry of a non-free segment — sealed segments are recorded, and
+  // open ones are covered by the checkpoint round ReleaseSafeReclaims
+  // runs before emitting frees. Buffered or mid-placement versions (the
+  // table still pointing at a stale or dangling location) are not
+  // recorded anywhere yet.
+  if (!table_.Present(page)) return true;
+  const PageMeta& m = table_.Get(page);
+  if (m.loc.InBuffer()) return false;
+  if (m.loc.segment >= segments_.size()) return false;
+  const Segment& s = segments_[m.loc.segment];
+  if (s.state() == SegmentState::kFree) return false;
+  if (m.loc.index >= s.entries().size()) return false;
+  return s.entries()[m.loc.index].page == page;
+}
+
+Status StoreShard::ReleaseSafeReclaims() {
+  if (reclaim_queue_.empty()) return Status::OK();
+  auto releasable = [this](const QueuedReclaim& qr) {
+    // Harvested-but-unplaced pages have no copy outside the victim's
+    // old record; dead entries' successors must be recorded (or be
+    // coverable by the checkpoint round below).
+    if (qr.unplaced > 0) return false;
+    for (PageId p : qr.pending) {
+      if (!SuccessorRecorded(p)) return false;
+    }
+    return true;
+  };
+  bool any = false;
+  for (const QueuedReclaim& qr : reclaim_queue_) {
+    if (releasable(qr)) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return Status::OK();
+  // One checkpoint round puts every successor or relocated copy still
+  // sitting in an open segment on the device ahead of the free records.
+  Status s = CheckpointOpenSegments();
+  if (!s.ok()) return s;
+  // A mid-loop emission failure leaves the queue partially compacted;
+  // that is fine — the caller poisons the shard on any failure here.
+  size_t kept = 0;
+  for (size_t i = 0; i < reclaim_queue_.size(); ++i) {
+    QueuedReclaim& qr = reclaim_queue_[i];
+    if (releasable(qr)) {
+      s = EmitReclaim(qr.id, qr.unow);
+      if (!s.ok()) return s;
+    } else {
+      // Guard against self-move: moving an element onto itself would
+      // leave its pending list in a moved-from (empty) state and let a
+      // later round release it prematurely.
+      if (kept != i) reclaim_queue_[kept] = std::move(qr);
+      ++kept;
+    }
+  }
+  reclaim_queue_.resize(kept);
+  return Status::OK();
 }
 
 Status StoreShard::ReleaseReclaims() {
   while (!reclaim_queue_.empty()) {
     const QueuedReclaim& qr = reclaim_queue_.back();
-    Status s = backend_->ReclaimSegment(qr.id, qr.unow);
+    Status s = EmitReclaim(qr.id, qr.unow);
     if (!s.ok()) return s;
     reclaim_queue_.pop_back();
   }
@@ -555,6 +865,14 @@ Status StoreShard::Clean(uint32_t triggering_log) {
       Status s = PlacePage(mp.page, mp.bytes, mp.up2, mp.exact_upf,
                            mp.est_upf, /*is_gc=*/true);
       if (s.ok()) {
+        // The copy is placed (and recordable); one fewer page keeps the
+        // source victim's free record withheld.
+        for (QueuedReclaim& qr : reclaim_queue_) {
+          if (qr.id == moved[i].from && qr.unplaced > 0) {
+            --qr.unplaced;
+            break;
+          }
+        }
         ++i;
         continue;
       }
@@ -583,8 +901,18 @@ Status StoreShard::Clean(uint32_t triggering_log) {
   }
 
   // Victims whose moved pages all landed in segments that sealed during
-  // the cycle need not wait for the next organic seal.
-  if (gc_dirty_open_.empty() && !reclaim_queue_.empty()) {
+  // the cycle need not wait for the next organic seal. In checkpoint
+  // mode release eagerly even while destinations are still open: the
+  // write phase placed every moved page, so one checkpoint round makes
+  // the copies durable and the free records (of victims without
+  // unresolved successors) can follow — keeping the free pool clear of
+  // withheld slots, so the allocation skip above rarely has to divert.
+  if (CheckpointingEnabled()) {
+    if (!reclaim_queue_.empty() && result.ok()) {
+      Status r = ReleaseSafeReclaims();
+      if (!r.ok()) result = r;
+    }
+  } else if (gc_dirty_open_.empty() && !reclaim_queue_.empty()) {
     Status r = ReleaseReclaims();
     if (result.ok() && !r.ok()) result = r;
   }

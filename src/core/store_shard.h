@@ -11,6 +11,7 @@
 #include "core/config.h"
 #include "core/io_backend.h"
 #include "core/page_table.h"
+#include "core/seal_pipeline.h"
 #include "core/segment.h"
 #include "core/stats.h"
 #include "core/types.h"
@@ -45,7 +46,11 @@ inline uint32_t PageShard(PageId page, uint32_t num_shards) {
 /// wraps every shard in its own mutex; LogStructuredStore is
 /// single-threaded by construction). The cleaning policy instance is
 /// owned by the shard, so policy state (e.g. multi-log's band maps) is
-/// confined to the shard and needs no locking of its own.
+/// confined to the shard and needs no locking of its own. With
+/// StoreConfig::async_seal the shard additionally owns a SealPipeline —
+/// one I/O thread that applies seal/reclaim/delete/checkpoint backend
+/// ops in emission order off the write path; that thread never touches
+/// shard state, so the contract above is unchanged.
 ///
 /// The write path implements the paper's MDC machinery (§5): an optional
 /// user write buffer whose contents are sorted by estimated update
@@ -103,6 +108,14 @@ class StoreShard {
   /// Drains any buffered user writes into segments.
   Status Flush();
 
+  /// Durable barrier: flushes the buffer, persists a checkpoint record
+  /// for every non-empty open segment, and waits until everything
+  /// emitted so far (async mode: the whole seal queue) is applied and
+  /// synced. On return every previously acknowledged write survives a
+  /// crash. Requires checkpointing or a durable barrier to make sense —
+  /// works in both sync and async modes, with any backend.
+  Status Checkpoint();
+
   /// True if `page` currently has a live version (buffered or stored).
   bool Contains(PageId page) const { return table_.Present(page); }
 
@@ -121,8 +134,20 @@ class StoreShard {
   // --- Introspection (used by policies, benches and tests) -----------
 
   const StoreConfig& config() const { return config_; }
+  /// Shard-side counters only; in async mode the device_* and
+  /// group-fsync counters live with the I/O thread — use StatsSnapshot()
+  /// for the complete picture.
   const StoreStats& stats() const { return stats_; }
   StoreStats& mutable_stats() { return stats_; }
+
+  /// Shard counters merged with the seal pipeline's I/O-side counters
+  /// (equal to stats() in synchronous mode).
+  StoreStats StatsSnapshot() const;
+
+  /// Zeroes all counters, shard- and I/O-side. In async mode this drains
+  /// the pipeline first so no in-flight op straddles the reset.
+  void ResetMeasurement();
+
   const CleaningPolicy& policy() const { return *policy_; }
   const SegmentBackend& backend() const { return *backend_; }
 
@@ -176,6 +201,7 @@ class StoreShard {
     double up2;        // carried from the victim segment (§5.2.2)
     double exact_upf;  // oracle value or 0
     double est_upf;    // placement estimate at clean time
+    SegmentId from;    // harvested victim, for the unplaced accounting
   };
 
   // Streams keep user data and cleaner output in different open segments.
@@ -231,16 +257,83 @@ class StoreShard {
   }
 
   // Builds the backend's durable record for a segment this shard is
-  // sealing (snapshots the entry list with current liveness).
-  BackendSegmentRecord MakeSealRecord(SegmentId id, const Segment& seg) const;
+  // sealing (snapshots the entry list with current liveness). With
+  // `checkpoint` the segment is still open and the record marks a
+  // replayable prefix.
+  BackendSegmentRecord MakeSealRecord(SegmentId id, const Segment& seg,
+                                      bool checkpoint = false) const;
 
   // Announces every queued victim reclaim to the backend. Called only
   // when it is crash-safe to do so — see reclaim_queue_ below.
   Status ReleaseReclaims();
 
+  // --- Backend emission: one seam for sync and async modes -----------
+  // In sync mode these call the backend directly (bit-for-bit the PR 3
+  // behaviour); in async mode they enqueue onto the seal pipeline, whose
+  // queue order preserves the emission order.
+
+  // Shared async path: enqueue with backpressure accounting; a rejected
+  // enqueue maps to the pipeline's sticky error (or a stopped-pipeline
+  // error). `ticket_out` receives the op's ticket when wanted.
+  Status EnqueueOp(SealPipeline::Op op, uint64_t* ticket_out = nullptr);
+
+  Status EmitSeal(SegmentId id, const Segment& seg);
+  Status EmitCheckpoint(SegmentId id, const Segment& seg);
+  Status EmitReclaim(SegmentId id, UpdateCount unow);
+  Status EmitDelete(PageId page, uint64_t seq, UpdateCount unow);
+
+  bool CheckpointingEnabled() const {
+    return config_.checkpoint_interval_ops > 0;
+  }
+
+  /// True if `id` is a cleaned victim whose free record is still
+  /// withheld (reclaim_queue_ is at most a few entries, so linear).
+  bool IsWithheld(SegmentId id) const {
+    for (const QueuedReclaim& qr : reclaim_queue_) {
+      if (qr.id == id) return true;
+    }
+    return false;
+  }
+
+  // Persists a checkpoint of every open segment currently holding
+  // GC-moved pages (except `skip`, which is being sealed right now).
+  // Called before a victim's free record is forced out by a slot reseal:
+  // the checkpoints put the victim's relocated pages on the device ahead
+  // of the free record, closing the PR 3 residual crash window.
+  Status CheckpointGcDirtyOpen(SegmentId skip);
+
+  // Emits a checkpoint for every non-empty open segment, in
+  // deterministic key order.
+  Status CheckpointOpenSegments();
+
+  // Emits a checkpoint round (CheckpointOpenSegments) once
+  // checkpoint_interval_ops backend ops have accumulated.
+  Status MaybePeriodicCheckpoint();
+
+  // True when `page`'s current version is recorded — or will be by the
+  // next checkpoint round: absent (its tombstone was emitted at delete
+  // time), or located at a real entry of a sealed/open segment. False
+  // while the version sits in the write buffer or is still mid-placement
+  // (the table then points at a stale or dangling location).
+  bool SuccessorRecorded(PageId page) const;
+
+  // Checkpoint mode: emits the free record of every withheld reclaim
+  // whose erasure is safe — all pending successors recorded — after one
+  // checkpoint round covering open segments. Reclaims with unresolved
+  // successors stay withheld.
+  Status ReleaseSafeReclaims();
+
+  // Surfaces the pipeline's sticky error into sticky_error_ (async mode;
+  // backend failures happen on the I/O thread and are reported on the
+  // next store operation, like a late group-commit ack).
+  void AbsorbPipelineError();
+
   StoreConfig config_;
   std::unique_ptr<CleaningPolicy> policy_;
   std::unique_ptr<SegmentBackend> backend_;
+  /// Non-null iff config_.async_seal: the per-shard I/O thread. Declared
+  /// after backend_ so it shuts down before the backend is destroyed.
+  std::unique_ptr<SealPipeline> pipeline_;
   ExactFrequencyFn oracle_;
 
   std::vector<Segment> segments_;
@@ -258,21 +351,41 @@ class StoreShard {
   /// overwritten and withholding protects nothing; the free record must
   /// then precede the new seal record in the metadata log).
   ///
-  /// Known residual window: the simulator reuses freed slots
-  /// immediately, so a victim can be resealed — forcing its free record
-  /// out — while a GC segment holding its relocated pages is still
-  /// open; a crash exactly there reverts those pages to older versions.
-  /// Closing it requires persisting partially-filled segments (the
-  /// ROADMAP "group commit / async seal" item); holding freed slots
-  /// back instead would change allocation order and break the
-  /// null-backend determinism contract.
+  /// Residual window (checkpointing OFF only): the simulator reuses
+  /// freed slots immediately, so a victim can be resealed — forcing its
+  /// free record out — while a GC segment holding its relocated pages is
+  /// still open; a crash exactly there reverts those pages to older
+  /// versions. With checkpoint_interval_ops > 0 the window is closed:
+  /// CheckpointGcDirtyOpen persists those open segments immediately
+  /// before the forced free record, so replay always finds the
+  /// relocated copies. (Holding freed slots back instead would change
+  /// allocation order and break the null-backend determinism contract.)
   struct QueuedReclaim {
     SegmentId id;
     UpdateCount unow;
+    /// Pages whose version superseding a dead entry of this victim was
+    /// not yet recorded at harvest time (sitting in the write buffer or
+    /// mid-placement). The victim's free record would erase the only
+    /// durable copy of those pages, so in checkpoint mode it is withheld
+    /// until every one of them is recorded (ReleaseSafeReclaims).
+    std::vector<PageId> pending;
+    /// Live pages harvested from this victim the cleaner has not placed
+    /// yet. While nonzero the victim's old record is their only durable
+    /// copy, so the free record must wait (a GC destination sealing
+    /// mid-clean would otherwise release it too early).
+    uint32_t unplaced = 0;
   };
   std::vector<QueuedReclaim> reclaim_queue_;
   /// Open segments that received GC-moved pages since they were opened.
   std::unordered_set<SegmentId> gc_dirty_open_;
+
+  /// Async mode: pipeline ticket of each segment's latest emitted seal,
+  /// indexed by SegmentId. ReadPage waits on it so a read never races
+  /// the payload write still sitting in the queue (0 = nothing pending).
+  std::vector<uint64_t> seal_ticket_;
+  /// Backend ops emitted since the last checkpoint round (periodic
+  /// checkpointing, see MaybePeriodicCheckpoint).
+  uint64_t ops_since_checkpoint_ = 0;
 
   PageTable& table_;
   WriteBuffer buffer_;

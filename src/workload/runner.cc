@@ -22,6 +22,9 @@ void FillDeviceMetrics(const StoreStats& stats, RunResult* r) {
   r->device_bytes_per_user_byte = stats.DeviceBytesPerUserByte();
   r->device_seconds = stats.DeviceSeconds();
   r->device_fsyncs = stats.device_fsyncs;
+  r->group_fsyncs = stats.group_fsyncs;
+  r->seal_queue_stalls = stats.seal_queue_stalls;
+  r->checkpoints_written = stats.checkpoints_written;
 }
 
 ParallelRunResult FailParallel(Status s, const std::string& variant,
@@ -104,7 +107,7 @@ RunResult RunSynthetic(const StoreConfig& config, Variant variant,
     if (!s.ok()) return Fail(s, label);
   }
 
-  store->mutable_stats().ResetMeasurement();
+  store->ResetMeasurement();
   const uint64_t measure = static_cast<uint64_t>(
       spec.measure_multiplier * static_cast<double>(user_pages));
   for (uint64_t i = 0; i < measure; ++i) {
@@ -112,14 +115,17 @@ RunResult RunSynthetic(const StoreConfig& config, Variant variant,
     if (!s.ok()) return Fail(s, label);
   }
 
+  // Snapshot, not stats(): with async_seal the device counters live on
+  // the I/O thread until merged.
+  const StoreStats stats = store->StatsSnapshot();
   RunResult r;
   r.status = Status::OK();
   r.variant = label;
-  r.wamp = store->stats().WriteAmplification();
-  r.mean_clean_emptiness = store->stats().MeanCleanEmptiness();
-  r.measured_updates = store->stats().user_updates;
+  r.wamp = stats.WriteAmplification();
+  r.mean_clean_emptiness = stats.MeanCleanEmptiness();
+  r.measured_updates = stats.user_updates;
   r.effective_fill = store->CurrentFillFactor();
-  FillDeviceMetrics(store->stats(), &r);
+  FillDeviceMetrics(stats, &r);
   return r;
 }
 
@@ -246,7 +252,7 @@ RunResult RunTrace(const StoreConfig& config, Variant variant,
   const auto& recs = trace.records();
   measure_from = std::min(measure_from, recs.size());
   for (size_t i = 0; i < recs.size(); ++i) {
-    if (i == measure_from) store->mutable_stats().ResetMeasurement();
+    if (i == measure_from) store->ResetMeasurement();
     const TraceRecord& rec = recs[i];
     Status s;
     if (rec.op == TraceRecord::Op::kWrite) {
@@ -258,14 +264,15 @@ RunResult RunTrace(const StoreConfig& config, Variant variant,
     if (!s.ok()) return Fail(s, label);
   }
 
+  const StoreStats stats = store->StatsSnapshot();
   RunResult r;
   r.status = Status::OK();
   r.variant = label;
-  r.wamp = store->stats().WriteAmplification();
-  r.mean_clean_emptiness = store->stats().MeanCleanEmptiness();
-  r.measured_updates = store->stats().user_updates;
+  r.wamp = stats.WriteAmplification();
+  r.mean_clean_emptiness = stats.MeanCleanEmptiness();
+  r.measured_updates = stats.user_updates;
   r.effective_fill = store->CurrentFillFactor();
-  FillDeviceMetrics(store->stats(), &r);
+  FillDeviceMetrics(stats, &r);
   return r;
 }
 

@@ -54,6 +54,15 @@ struct RunResult {
   double device_seconds = 0.0;
   /// fsync calls during measurement.
   uint64_t device_fsyncs = 0;
+
+  // --- Async seal pipeline (zero in synchronous mode) -----------------
+
+  /// Group-commit fsync rounds issued by the per-shard I/O threads.
+  uint64_t group_fsyncs = 0;
+  /// Times a writer blocked on a full seal queue (backpressure).
+  uint64_t seal_queue_stalls = 0;
+  /// Open-segment checkpoint records persisted.
+  uint64_t checkpoints_written = 0;
 };
 
 /// Builds a store for `variant` (applying its placement conventions to

@@ -43,6 +43,26 @@ TEST(StoreConfigTest, RejectsHugeTrigger) {
   EXPECT_FALSE(c.Validate().ok());
 }
 
+TEST(StoreConfigTest, AsyncSealNeedsAQueue) {
+  StoreConfig c;
+  c.async_seal = true;
+  EXPECT_TRUE(c.Validate().ok());  // default queue depth
+  c.seal_queue_depth = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  // A zero queue depth only matters when the pipeline is on.
+  c.async_seal = false;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(StoreConfigTest, CheckpointIntervalIsBackendAgnostic) {
+  // Checkpointing works in sync and async modes, with any backend.
+  StoreConfig c;
+  c.checkpoint_interval_ops = 32;
+  EXPECT_TRUE(c.Validate().ok());
+  c.async_seal = true;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
 TEST(StoreConfigTest, FileBackendRequiresDirectory) {
   StoreConfig c;
   c.backend = BackendKind::kFile;

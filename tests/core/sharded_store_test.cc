@@ -1,6 +1,7 @@
 #include "core/sharded_store.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -250,6 +251,190 @@ TEST(PageTableConcurrencyTest, ParallelEnsureAndReadback) {
       EXPECT_EQ(table.Get(p).bytes, 512 + t);
       EXPECT_EQ(table.Get(p).last_update, p + 1);
     }
+  }
+}
+
+// The async seal pipeline must not perturb a single placement decision:
+// the same update sequence with async_seal on and off produces identical
+// simulation counters (only *when* backend I/O happens changes, never
+// what is written where).
+TEST(ShardedStoreTest, AsyncSealKeepsSimulationCountersBitForBit) {
+  // Checkpointing changes allocation (withheld slots are skipped), so
+  // compare like with like: async vs sync at the same checkpoint
+  // setting, once plain and once with checkpointing on.
+  struct Case {
+    Variant v;
+    uint32_t checkpoint_interval;
+  };
+  for (const Case c : {Case{Variant::kGreedy, 0}, Case{Variant::kGreedy, 16},
+                       Case{Variant::kMdc, 0}, Case{Variant::kMdc, 16}}) {
+    const Variant v = c.v;
+    StoreConfig sync_cfg = SmallConfig();
+    ApplyVariantConfig(v, &sync_cfg);
+    sync_cfg.checkpoint_interval_ops = c.checkpoint_interval;
+    StoreConfig async_cfg = sync_cfg;
+    async_cfg.async_seal = true;
+    async_cfg.seal_queue_depth = 2;
+
+    auto drive = [](const StoreConfig& cfg, Variant var) {
+      auto store = LogStructuredStore::Create(cfg, MakePolicy(var));
+      EXPECT_NE(store, nullptr);
+      for (PageId p = 0; p < 1500; ++p) EXPECT_TRUE(store->Write(p).ok());
+      Rng rng(19);
+      for (int i = 0; i < 15000; ++i) {
+        EXPECT_TRUE(store->Write(rng.NextBounded(1500)).ok());
+      }
+      return store;
+    };
+    auto sync_store = drive(sync_cfg, v);
+    auto async_store = drive(async_cfg, v);
+    const StoreStats& a = sync_store->stats();
+    const StoreStats& b = async_store->stats();
+    EXPECT_EQ(a.user_updates, b.user_updates) << VariantName(v);
+    EXPECT_EQ(a.user_pages_written, b.user_pages_written) << VariantName(v);
+    EXPECT_EQ(a.gc_pages_written, b.gc_pages_written) << VariantName(v);
+    EXPECT_EQ(a.user_segments_sealed, b.user_segments_sealed) << VariantName(v);
+    EXPECT_EQ(a.gc_segments_sealed, b.gc_segments_sealed) << VariantName(v);
+    EXPECT_EQ(a.segments_cleaned, b.segments_cleaned) << VariantName(v);
+    EXPECT_EQ(a.cleanings, b.cleanings) << VariantName(v);
+    EXPECT_EQ(a.WriteAmplification(), b.WriteAmplification()) << VariantName(v);
+    EXPECT_EQ(a.MeanCleanEmptiness(), b.MeanCleanEmptiness()) << VariantName(v);
+    // And the pipeline actually ran.
+    EXPECT_GT(async_store->StatsSnapshot().seal_queue_enqueued, 0u);
+    EXPECT_EQ(sync_store->StatsSnapshot().seal_queue_enqueued, 0u);
+    EXPECT_TRUE(async_store->CheckInvariants().ok());
+  }
+}
+
+// A backend that sleeps per seal: the shard's writer outruns the I/O
+// thread, so the bounded queue must exert backpressure (counted stalls)
+// while every op still applies exactly once, in order.
+class SlowBackend : public NullBackend {
+ public:
+  Status SealSegment(const BackendSegmentRecord& record) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++seals_;
+    return NullBackend::SealSegment(record);
+  }
+  std::atomic<int64_t> seals_{0};
+};
+
+TEST(ShardedStoreTest, AsyncSealBackpressureBoundsTheQueue) {
+  StoreConfig cfg = SmallConfig();
+  cfg.write_buffer_segments = 0;
+  cfg.num_segments = 64;
+  cfg.async_seal = true;
+  cfg.seal_queue_depth = 1;
+  auto backend = std::make_unique<SlowBackend>();
+  SlowBackend* slow = backend.get();
+  Status st;
+  auto store = LogStructuredStore::CreateWithBackend(
+      cfg, MakePolicy(Variant::kGreedy), std::move(backend), &st);
+  ASSERT_NE(store, nullptr) << st.ToString();
+
+  // ~48 seals at 2 ms each, produced far faster than they drain: with a
+  // queue of one, the writer must stall many times.
+  for (PageId p = 0; p < 48 * 16; ++p) {
+    ASSERT_TRUE(store->Write(p % 768).ok());
+  }
+  ASSERT_TRUE(store->Close().ok());
+  const StoreStats s = store->StatsSnapshot();
+  EXPECT_GT(s.seal_queue_stalls, 0u);
+  EXPECT_GE(s.seal_queue_enqueued, static_cast<uint64_t>(slow->seals_.load()));
+  EXPECT_GT(slow->seals_.load(), 10);
+}
+
+// Close must drain in-flight seals before the backend shuts: every op
+// the store acknowledged reaches the backend even when Close races a
+// full queue.
+TEST(ShardedStoreTest, CloseDrainsTheSealQueue) {
+  StoreConfig cfg = SmallConfig();
+  cfg.write_buffer_segments = 0;
+  cfg.num_segments = 64;
+  cfg.async_seal = true;
+  cfg.seal_queue_depth = 2;
+  auto backend = std::make_unique<SlowBackend>();
+  SlowBackend* slow = backend.get();
+  Status st;
+  auto store = LogStructuredStore::CreateWithBackend(
+      cfg, MakePolicy(Variant::kGreedy), std::move(backend), &st);
+  ASSERT_NE(store, nullptr) << st.ToString();
+  for (PageId p = 0; p < 12 * 16; ++p) {
+    ASSERT_TRUE(store->Write(p).ok());
+  }
+  // Several seals are still queued behind the slow backend right now.
+  ASSERT_TRUE(store->Close().ok());
+  const StoreStats s = store->StatsSnapshot();
+  // Every emitted op was applied — nothing was dropped at shutdown.
+  EXPECT_EQ(s.seal_queue_enqueued, static_cast<uint64_t>(slow->seals_.load()));
+  EXPECT_GE(slow->seals_.load(), 12);
+}
+
+// Async-seal stress under ThreadSanitizer: many writer threads, four
+// shards, each with its own I/O thread, plus concurrent reads, deletes,
+// checkpoints and stats aggregation — the race detector for the whole
+// pipeline (scripts/check.sh --tsan runs this suite).
+TEST(ShardedStoreTest, AsyncSealMultiThreadedStressKeepsInvariants) {
+  StoreConfig cfg = SmallConfig();
+  cfg.num_segments = 512;
+  cfg.async_seal = true;
+  cfg.seal_queue_depth = 4;
+  cfg.checkpoint_interval_ops = 32;
+  Status st;
+  auto store = ShardedStore::Create(cfg, 4, FactoryFor(Variant::kMdc), &st);
+  ASSERT_NE(store, nullptr) << st.ToString();
+
+  constexpr uint32_t kThreads = 8;
+  constexpr PageId kPages = 4000;
+  constexpr int kOpsPerThread = 15000;
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> deletes_applied{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      for (int i = 0; i < kOpsPerThread && !failed.load(); ++i) {
+        const PageId p = rng.NextBounded(kPages);
+        const uint64_t dice = rng.NextBounded(100);
+        if (dice < 85) {
+          if (!store->Write(p).ok()) failed.store(true);
+          writes.fetch_add(1, std::memory_order_relaxed);
+        } else if (dice < 92) {
+          const Status s = store->Delete(p);
+          if (s.ok()) {
+            deletes_applied.fetch_add(1, std::memory_order_relaxed);
+          } else if (s.code() != Status::Code::kNotFound) {
+            failed.store(true);
+          }
+        } else if (dice < 96) {
+          std::vector<uint8_t> data;
+          const Status s = store->ReadPage(p, &data);
+          if (!s.ok() && s.code() != Status::Code::kNotFound &&
+              s.code() != Status::Code::kInvalidArgument) {
+            failed.store(true);
+          }
+        } else if (dice < 99) {
+          if (!store->Flush().ok()) failed.store(true);
+        } else {
+          if (!store->Checkpoint().ok()) failed.store(true);
+        }
+        if (i % 4096 == 0) (void)store->AggregatedStats();
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  ASSERT_FALSE(failed.load()) << "a store operation failed mid-stress";
+
+  const StoreStats total = store->AggregatedStats();
+  EXPECT_EQ(total.user_updates, writes.load());
+  EXPECT_EQ(total.deletes, deletes_applied.load());
+  EXPECT_GT(total.seal_queue_enqueued, 0u);
+  ASSERT_TRUE(store->Close().ok());
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  for (uint32_t i = 0; i < store->num_shards(); ++i) {
+    EXPECT_TRUE(store->shard(i).CheckInvariants().ok()) << "shard " << i;
   }
 }
 

@@ -26,6 +26,11 @@ TEST(StoreStatsTest, ResetMeasurementZeroesEverything) {
   s.cleanings = 5;
   s.deletes = 6;
   s.mutable_clean_emptiness().Add(0.5);
+  s.seal_queue_enqueued = 7;
+  s.seal_queue_stalls = 8;
+  s.group_fsyncs = 9;
+  s.group_fsync_ops = 10;
+  s.checkpoints_written = 11;
   s.ResetMeasurement();
   EXPECT_EQ(s.user_updates, 0u);
   EXPECT_EQ(s.user_pages_written, 0u);
@@ -33,8 +38,30 @@ TEST(StoreStatsTest, ResetMeasurementZeroesEverything) {
   EXPECT_EQ(s.segments_cleaned, 0u);
   EXPECT_EQ(s.cleanings, 0u);
   EXPECT_EQ(s.deletes, 0u);
+  EXPECT_EQ(s.seal_queue_enqueued, 0u);
+  EXPECT_EQ(s.seal_queue_stalls, 0u);
+  EXPECT_EQ(s.group_fsyncs, 0u);
+  EXPECT_EQ(s.group_fsync_ops, 0u);
+  EXPECT_EQ(s.checkpoints_written, 0u);
   EXPECT_EQ(s.clean_emptiness().count(), 0u);
   EXPECT_EQ(s.MeanCleanEmptiness(), 0.0);
+}
+
+TEST(StoreStatsTest, MergeCoversPipelineCounters) {
+  StoreStats a, b;
+  a.seal_queue_enqueued = 1;
+  a.group_fsyncs = 2;
+  b.seal_queue_enqueued = 3;
+  b.seal_queue_stalls = 4;
+  b.group_fsyncs = 5;
+  b.group_fsync_ops = 6;
+  b.checkpoints_written = 7;
+  a.Merge(b);
+  EXPECT_EQ(a.seal_queue_enqueued, 4u);
+  EXPECT_EQ(a.seal_queue_stalls, 4u);
+  EXPECT_EQ(a.group_fsyncs, 7u);
+  EXPECT_EQ(a.group_fsync_ops, 6u);
+  EXPECT_EQ(a.checkpoints_written, 7u);
 }
 
 // End-to-end accounting identity: measured Wamp must equal the ratio
