@@ -55,22 +55,26 @@ void Run() {
   for (double f : {0.7, 0.8, 0.9}) {
     const uint64_t user_pages = bench::UserPagesFor(cfg, f);
     UniformWorkload uni(user_pages);
-    table.AddRow({TablePrinter::Cell("uniform"), TablePrinter::Cell(f, 2),
-                  TablePrinter::Cell(
-                      RunWith(CostBenefitPolicy::Formula::kLfs, uni, cfg, f), 3),
-                  TablePrinter::Cell(
-                      RunWith(CostBenefitPolicy::Formula::kPaperLiteral, uni,
-                              cfg, f),
-                      3)});
     ZipfianWorkload zipf(user_pages, 0.99);
-    table.AddRow(
-        {TablePrinter::Cell("zipf-0.99"), TablePrinter::Cell(f, 2),
-         TablePrinter::Cell(RunWith(CostBenefitPolicy::Formula::kLfs, zipf,
-                                    cfg, f),
-                            3),
-         TablePrinter::Cell(RunWith(CostBenefitPolicy::Formula::kPaperLiteral,
-                                    zipf, cfg, f),
-                            3)});
+    struct Cell {
+      const char* workload;
+      const WorkloadGenerator* gen;
+    };
+    for (const Cell& cell :
+         {Cell{"uniform", &uni}, Cell{"zipf-0.99", &zipf}}) {
+      const double canonical =
+          RunWith(CostBenefitPolicy::Formula::kLfs, *cell.gen, cfg, f);
+      const double literal = RunWith(CostBenefitPolicy::Formula::kPaperLiteral,
+                                     *cell.gen, cfg, f);
+      table.AddRow({TablePrinter::Cell(cell.workload),
+                    TablePrinter::Cell(f, 2), TablePrinter::Cell(canonical, 3),
+                    TablePrinter::Cell(literal, 3)});
+      bench::Emit(bench::JsonRow("ablation_costbenefit")
+                      .Str("workload", cell.workload)
+                      .Num("fill", f)
+                      .Num("wamp_canonical", canonical)
+                      .Num("wamp_paper_literal", literal));
+    }
   }
   std::printf("Ablation: cost-benefit victim priority formulas (Wamp; -1 "
               "means out of space)\n\n");

@@ -45,6 +45,14 @@ void Run() {
         continue;
       }
       row.emplace_back(r.wamp, 3);
+      bench::Emit(bench::JsonRow("fig3_breakdown")
+                      .Str("workload", std::string("hotcold-") + label)
+                      .Str("variant", r.variant)
+                      .Num("fill", f)
+                      .Num("skew", m)
+                      .Num("wamp", r.wamp)
+                      .Num("analytic_opt_wamp", OptimalWamp(f, m))
+                      .Num("mean_clean_emptiness", r.mean_clean_emptiness));
     }
     row.emplace_back(OptimalWamp(f, m), 3);
     table.AddRow(std::move(row));

@@ -45,6 +45,13 @@ void Run() {
     table.AddRow({TablePrinter::Cell(static_cast<uint64_t>(b)),
                   TablePrinter::Cell(r.wamp, 3),
                   TablePrinter::Cell(r.mean_clean_emptiness, 3)});
+    bench::Emit(bench::JsonRow("fig4_sort_buffer")
+                    .Str("workload", "zipf-0.99")
+                    .Str("variant", r.variant)
+                    .Num("fill", f)
+                    .Num("buffer_segments", static_cast<uint64_t>(b))
+                    .Num("wamp", r.wamp)
+                    .Num("mean_clean_emptiness", r.mean_clean_emptiness));
   }
   std::printf("Figure 4: MDC write amplification vs sort-buffer size "
               "(80-20 Zipfian 0.99, F = 0.8)\n\n");

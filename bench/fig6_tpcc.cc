@@ -12,6 +12,16 @@
 // shifting hot set); cost-benefit and multi-log mid-field, with plain
 // multi-log no better than cost-benefit; MDC below them; multi-log-opt /
 // MDC-opt lowest, MDC-opt below multi-log-opt.
+//
+// Environment:
+//   LSS_BENCH_SCALE=N     multiply warehouses / transaction counts
+//   LSS_BENCH_THREADS=N   worker threads for trace generation AND shards
+//                         for trace replay (default 1 = the serial
+//                         pipeline; replay at N>1 runs RunTraceParallel
+//                         over an N-shard store)
+//   LSS_BENCH_SMOKE=1     tiny cardinality + one fill factor, for CI
+//   LSS_BENCH_NO_CACHE=1  always regenerate the trace
+//   LSS_BENCH_JSON=path   machine-readable results (bench_common.h)
 
 #include <cinttypes>
 #include <unistd.h>
@@ -27,11 +37,28 @@
 namespace lss {
 namespace {
 
+// Generation workers / replay shards (LSS_BENCH_THREADS; first value if
+// a sweep list is given, since fig6 runs one configuration).
+uint32_t BenchThreads() {
+  const char* env = std::getenv("LSS_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v < 1 ? 1 : static_cast<uint32_t>(v);
+}
+
+bool SmokeMode() {
+  const char* env = std::getenv("LSS_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
 // Trace generation dominates this bench's runtime, so the generated
 // trace is cached in the system temp directory, keyed by every parameter
-// that shapes it. Re-runs (e.g. sweeping simulator-side settings) load
-// the cache in milliseconds; set LSS_BENCH_NO_CACHE=1 to force
-// regeneration.
+// that shapes it — including the worker-thread count (parallel
+// generation produces a differently interleaved trace) and the trace
+// generator's format version, so stale cached traces regenerate instead
+// of silently replaying old data after a format change. Re-runs (e.g.
+// sweeping simulator-side settings) load the cache in milliseconds; set
+// LSS_BENCH_NO_CACHE=1 to force regeneration.
 struct CachedTrace {
   tpcc::TpccTraceResult gen;
   bool from_cache = false;
@@ -47,6 +74,7 @@ std::string TraceCachePath(const tpcc::TpccConfig& tc, uint64_t warm_txns,
       h *= 1099511628211ull;
     }
   };
+  mix(tpcc::kTpccTraceFormatVersion);
   mix(tc.warehouses);
   mix(tc.districts_per_warehouse);
   mix(tc.customers_per_district);
@@ -54,6 +82,7 @@ std::string TraceCachePath(const tpcc::TpccConfig& tc, uint64_t warm_txns,
   mix(tc.orders_per_district);
   mix(tc.buffer_pool_pages);
   mix(tc.seed);
+  mix(tc.workers);
   mix(warm_txns);
   mix(measure_txns);
   mix(checkpoint_every);
@@ -105,6 +134,7 @@ CachedTrace GenerateOrLoadTrace(const tpcc::TpccConfig& tc,
   if (cache_enabled && LoadMeta(meta_path, &out.gen) &&
       out.gen.trace.LoadFrom(trace_path) && !out.gen.trace.Empty()) {
     out.from_cache = true;
+    out.gen.workers = tc.workers;
     return out;
   }
   out.gen = tpcc::GenerateTpccTrace(tc, warm_txns, measure_txns,
@@ -134,21 +164,26 @@ void Run() {
   // mix + cache ratio), not absolute size. LSS_BENCH_SCALE=N multiplies
   // the warehouse count (TPC-C's own scaling knob) as well as the
   // transaction counts, growing the database toward the paper's
-  // 4 GB-cache regime.
+  // 4 GB-cache regime; LSS_BENCH_THREADS=N generates (and replays) with
+  // N-way parallelism, which is what makes paper-scale runs tractable.
   const uint32_t scale = bench::ScaleFactor();
+  const uint32_t threads = BenchThreads();
+  const bool smoke = SmokeMode();
   TpccConfig tc;
-  tc.warehouses = 4 * scale;
-  tc.districts_per_warehouse = 10;
-  tc.customers_per_district = 400;
-  tc.items = 5000;
-  tc.orders_per_district = 400;
+  tc.warehouses = smoke ? std::max(2u, threads) : 4 * scale;
+  tc.districts_per_warehouse = smoke ? 4 : 10;
+  tc.customers_per_district = smoke ? 120 : 400;
+  tc.items = smoke ? 500 : 5000;
+  tc.orders_per_district = smoke ? 120 : 400;
   tc.seed = 17;
+  tc.workers = threads;
 
-  const uint64_t warm_txns = 20000ull * scale;
-  const uint64_t measure_txns = 80000ull * scale;
+  const uint64_t warm_txns = smoke ? 1000 : 20000ull * scale;
+  const uint64_t measure_txns = smoke ? 3000 : 80000ull * scale;
 
   // Pre-size the cache to ~10% of the database footprint: populate a
-  // throwaway instance to learn the page count.
+  // throwaway instance to learn the page count (in parallel when
+  // threads > 1 — no trace is collected here).
   uint64_t db_pages;
   {
     tpcc::TpccDb probe(tc);
@@ -158,23 +193,43 @@ void Run() {
   tc.buffer_pool_pages = std::max<size_t>(64, db_pages / 10);
 
   std::printf("Figure 6: TPC-C trace replay (%u warehouses, db ~%llu pages, "
-              "cache %zu pages, %llu warm + %llu measured txns)\n",
+              "cache %zu pages, %llu warm + %llu measured txns, "
+              "%u thread%s)\n",
               tc.warehouses,
               static_cast<unsigned long long>(db_pages),
               tc.buffer_pool_pages,
               static_cast<unsigned long long>(warm_txns),
-              static_cast<unsigned long long>(measure_txns));
+              static_cast<unsigned long long>(measure_txns),
+              threads, threads == 1 ? "" : "s");
 
   const CachedTrace cached =
       GenerateOrLoadTrace(tc, warm_txns, measure_txns,
                           /*checkpoint_every=*/2000);
   const tpcc::TpccTraceResult& gen = cached.gen;
-  std::printf("trace%s: %zu page writes (%zu measured), db grew %llu -> "
-              "%llu pages\n\n",
-              cached.from_cache ? " (cached)" : "", gen.trace.Size(),
-              gen.trace.Size() - gen.measure_from,
-              static_cast<unsigned long long>(gen.pages_after_load),
-              static_cast<unsigned long long>(gen.pages_final));
+  if (cached.from_cache) {
+    std::printf("trace (cached): %zu page writes (%zu measured), db grew "
+                "%llu -> %llu pages\n\n",
+                gen.trace.Size(), gen.trace.Size() - gen.measure_from,
+                static_cast<unsigned long long>(gen.pages_after_load),
+                static_cast<unsigned long long>(gen.pages_final));
+  } else {
+    std::printf("trace: %zu page writes (%zu measured), db grew %llu -> "
+                "%llu pages, generated in %.2fs with %u worker%s\n\n",
+                gen.trace.Size(), gen.trace.Size() - gen.measure_from,
+                static_cast<unsigned long long>(gen.pages_after_load),
+                static_cast<unsigned long long>(gen.pages_final),
+                gen.generation_seconds, gen.workers,
+                gen.workers == 1 ? "" : "s");
+  }
+  bench::Emit(bench::JsonRow("fig6_tpcc")
+                  .Str("row", "generation")
+                  .Num("threads", static_cast<uint64_t>(threads))
+                  .Num("scale", static_cast<uint64_t>(scale))
+                  .Num("warehouses", static_cast<uint64_t>(tc.warehouses))
+                  .Num("trace_records", static_cast<uint64_t>(gen.trace.Size()))
+                  .Num("pages_final", gen.pages_final)
+                  .Num("from_cache", static_cast<uint64_t>(cached.from_cache))
+                  .Num("generation_seconds", gen.generation_seconds));
 
   StoreConfig base;
   base.page_bytes = 4096;
@@ -193,7 +248,10 @@ void Run() {
     headers.push_back(VariantName(v));
   }
   TablePrinter table(headers);
-  for (double f : {0.5, 0.6, 0.7, 0.8}) {
+  const std::vector<double> fills =
+      smoke ? std::vector<double>{0.7}
+            : std::vector<double>{0.5, 0.6, 0.7, 0.8};
+  for (double f : fills) {
     // Device sized so the final database occupies F of the usable space.
     StoreConfig cfg = ScaleConfigForFill(
         base, gen.pages_final + bench::ReserveSegments(base) *
@@ -203,16 +261,41 @@ void Run() {
     std::vector<TablePrinter::Cell> row;
     row.emplace_back(f, 2);
     for (Variant v : lines) {
-      const RunResult r = RunTrace(cfg, v, gen.trace, gen.measure_from);
+      RunResult r;
+      double replay_seconds = 0.0;
+      if (threads > 1) {
+        const ParallelRunResult pr =
+            RunTraceParallel(cfg, v, gen.trace, gen.measure_from, threads);
+        r = pr.result;
+        replay_seconds = pr.measure_seconds;
+      } else {
+        r = RunTrace(cfg, v, gen.trace, gen.measure_from);
+      }
       if (!r.status.ok()) {
         std::fprintf(stderr, "%s F=%.2f failed: %s\n", VariantName(v).c_str(),
                      f, r.status.ToString().c_str());
         row.emplace_back("err");
       } else {
         row.emplace_back(r.wamp, 3);
+        bench::JsonRow json("fig6_tpcc");
+        json.Str("workload", "tpcc")
+            .Str("variant", r.variant)
+            .Num("fill", f)
+            .Num("wamp", r.wamp)
+            .Num("mean_clean_emptiness", r.mean_clean_emptiness)
+            .Num("measured_updates", r.measured_updates)
+            .Num("effective_fill", r.effective_fill)
+            .Num("threads", static_cast<uint64_t>(threads));
+        if (threads > 1) json.Num("replay_seconds", replay_seconds);
+        bench::Emit(json);
       }
     }
     table.AddRow(std::move(row));
+  }
+  if (threads > 1) {
+    std::printf("replay: RunTraceParallel over %u shards (per-page order "
+                "preserved; Wamp is the per-shard-cleaned aggregate)\n\n",
+                threads);
   }
   table.Print(stdout);
 }

@@ -56,6 +56,15 @@ void Run() {
                   TablePrinter::Cell(SlackEfficiency(f), 2),
                   TablePrinter::Cell(WampFromEmptiness(e), 3),
                   TablePrinter::Cell(r.wamp, 3)});
+    bench::Emit(bench::JsonRow("table1_uniform")
+                    .Str("workload", "uniform")
+                    .Str("variant", r.variant)
+                    .Num("fill", f)
+                    .Num("analytic_emptiness", e)
+                    .Num("analytic_wamp", WampFromEmptiness(e))
+                    .Num("wamp", r.wamp)
+                    .Num("mean_clean_emptiness", r.mean_clean_emptiness)
+                    .Num("measured_updates", r.measured_updates));
   }
   std::printf("Table 1: fill factor vs segment emptiness when cleaned "
               "(uniform updates)\n");

@@ -54,6 +54,15 @@ void Run() {
                   TablePrinter::Cell(sim_cost, 2),
                   TablePrinter::Cell(OptimalWamp(f, m), 3),
                   TablePrinter::Cell(r.wamp, 3)});
+    bench::Emit(bench::JsonRow("table2_hotcold")
+                    .Str("workload", std::string("hotcold-") + label)
+                    .Str("variant", r.variant)
+                    .Num("fill", f)
+                    .Num("skew", m)
+                    .Num("analytic_min_cost", MinCostEqualSplit(f, m))
+                    .Num("sim_cost", sim_cost)
+                    .Num("analytic_opt_wamp", OptimalWamp(f, m))
+                    .Num("wamp", r.wamp));
   }
   std::printf("Table 2: minimum cost when managing hot and cold data "
               "separately (F = 0.8)\n");

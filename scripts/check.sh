@@ -9,8 +9,11 @@
 #   --tsan:   rebuild with -fsanitize=thread in ./build-tsan (or the given
 #             build dir) and run the concurrency test suites under
 #             ThreadSanitizer — the data-race gate for ShardedStore, the
-#             striped PageTable and the per-shard async seal pipeline
-#             (AsyncSeal* cases in tests/core/sharded_store_test.cc).
+#             striped PageTable, the per-shard async seal pipeline
+#             (AsyncSeal* cases in tests/core/sharded_store_test.cc), the
+#             latch-striped buffer pool (BufferPoolParallel*), the
+#             multi-worker TPC-C engine (TpccParallel*) and parallel
+#             trace replay (TraceReplayParallel*).
 #   --asan:   rebuild with -fsanitize=address,undefined in ./build-asan
 #             (or the given build dir) and run the FULL test suite — the
 #             memory-safety gate for the raw-I/O backend (pwrite buffers,
@@ -58,9 +61,12 @@ if [[ $TSAN -eq 1 ]]; then
   cmake --build "$BUILD_DIR" -j "$JOBS"
   # TSAN_OPTIONS makes any reported race fail the run even if the test
   # binary would otherwise exit 0.
+  # 'Parallel' already covers BufferPoolParallel/TpccParallel/
+  # TraceReplayParallel; they are named anyway so the gate's scope is
+  # explicit.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'Sharded|PageTableConcurrency|Parallel|AsyncSeal'
+      -R 'Sharded|PageTableConcurrency|Parallel|AsyncSeal|BufferPoolParallel|TpccParallel|TraceReplayParallel'
   echo "check.sh: tsan green"
   exit 0
 fi
@@ -90,5 +96,17 @@ fi
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Small-scale parallel TPC-C smoke: 2-worker trace generation, replay
+# through RunTraceParallel over 2 shards, machine-readable output — the
+# end-to-end gate for the concurrent fig6 pipeline (seconds, not
+# minutes; the full bench is LSS_BENCH_SCALE/LSS_BENCH_THREADS).
+if [[ -x "$BUILD_DIR/bench/fig6_tpcc" ]]; then
+  LSS_BENCH_SMOKE=1 LSS_BENCH_THREADS=2 LSS_BENCH_NO_CACHE=1 \
+    LSS_BENCH_JSON="$BUILD_DIR/fig6_smoke.json" \
+    "$BUILD_DIR/bench/fig6_tpcc"
+  grep -q '"bench":"fig6_tpcc"' "$BUILD_DIR/fig6_smoke.json"
+  echo "check.sh: fig6 parallel smoke green"
+fi
 
 echo "check.sh: all green"

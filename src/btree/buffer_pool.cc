@@ -1,19 +1,49 @@
 #include "btree/buffer_pool.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lss {
 
+namespace {
+
+// Auto-partitioning: scale stripes with capacity but keep >= 64 frames
+// per stripe — the worst case has every worker thread's transient pins
+// (a handful each) hashing into one stripe, and a stripe with zero
+// unpinned frames cannot evict. Power-of-two counts keep the hash cheap
+// to reason about; 64 stripes are plenty for any thread count we run.
+uint32_t AutoPartitions(size_t capacity_pages) {
+  uint32_t parts = 1;
+  while (parts < 64 && capacity_pages / (parts * 2) >= 64) parts *= 2;
+  return parts;
+}
+
+}  // namespace
+
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
-                       WriteObserver observer)
+                       WriteObserver observer, uint32_t partitions)
     : pager_(pager), capacity_(capacity_pages),
       observer_(std::move(observer)) {
   assert(pager != nullptr);
   assert(capacity_pages >= 8);
-  frames_.resize(capacity_);
-  for (Frame& f : frames_) f.data.resize(kBtreePageSize);
-  free_frames_.reserve(capacity_);
-  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+  if (partitions == 0) partitions = AutoPartitions(capacity_pages);
+  if (partitions > capacity_pages / 8) {
+    partitions = static_cast<uint32_t>(capacity_pages / 8);
+  }
+  if (partitions == 0) partitions = 1;
+  parts_.reserve(partitions);
+  for (uint32_t p = 0; p < partitions; ++p) {
+    auto part = std::make_unique<Partition>();
+    // Distribute capacity evenly; early stripes absorb the remainder.
+    const size_t n = capacity_ / partitions +
+                     (p < capacity_ % partitions ? 1 : 0);
+    part->frames.resize(n);
+    for (Frame& f : part->frames) f.data.resize(kBtreePageSize);
+    part->free_frames.reserve(n);
+    for (size_t i = n; i > 0; --i) part->free_frames.push_back(i - 1);
+    parts_.push_back(std::move(part));
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -22,91 +52,148 @@ BufferPool::~BufferPool() {
 
 size_t BufferPool::PinnedFrames() const {
   size_t n = 0;
-  for (const Frame& f : frames_) n += (f.pins > 0) ? 1 : 0;
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (const Frame& f : part->frames) n += (f.pins > 0) ? 1 : 0;
+  }
   return n;
 }
 
-void BufferPool::WriteBack(size_t idx) {
-  Frame& f = frames_[idx];
+uint64_t BufferPool::hits() const {
+  uint64_t n = 0;
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    n += part->hits;
+  }
+  return n;
+}
+
+uint64_t BufferPool::misses() const {
+  uint64_t n = 0;
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    n += part->misses;
+  }
+  return n;
+}
+
+uint64_t BufferPool::evictions() const {
+  uint64_t n = 0;
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    n += part->evictions;
+  }
+  return n;
+}
+
+uint64_t BufferPool::write_backs() const {
+  uint64_t n = 0;
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    n += part->write_backs;
+  }
+  return n;
+}
+
+void BufferPool::WriteBack(Partition& part, size_t idx) {
+  Frame& f = part.frames[idx];
   assert(f.dirty);
   pager_->Write(f.page, f.data.data());
   f.dirty = false;
-  ++write_backs_;
+  ++part.write_backs;
   if (observer_) observer_(f.page);
 }
 
-size_t BufferPool::EvictOne() {
-  assert(!lru_.empty() && "buffer pool exhausted: all frames pinned");
+size_t BufferPool::EvictOne(Partition& part) {
+  // Exhaustion (every frame in the stripe pinned) cannot be satisfied;
+  // fail loudly rather than invoke UB on the empty list in release
+  // builds. Auto-sizing keeps stripes >= 64 frames precisely so
+  // concurrent pins cannot get here.
+  if (part.lru.empty()) {
+    std::fprintf(stderr,
+                 "lss: buffer pool stripe exhausted: all %zu frames "
+                 "pinned; use fewer partitions or a larger pool\n",
+                 part.frames.size());
+    std::abort();
+  }
   // Back of the LRU list = least recently used unpinned frame.
-  const size_t idx = lru_.back();
-  lru_.pop_back();
-  Frame& f = frames_[idx];
+  const size_t idx = part.lru.back();
+  part.lru.pop_back();
+  Frame& f = part.frames[idx];
   f.in_lru = false;
-  if (f.dirty) WriteBack(idx);
-  page_to_frame_.erase(f.page);
+  if (f.dirty) WriteBack(part, idx);
+  part.page_to_frame.erase(f.page);
   f.page = kInvalidPageNo;
-  ++evictions_;
+  ++part.evictions;
   return idx;
 }
 
-size_t BufferPool::FrameFor(PageNo page, bool load_from_pager) {
-  auto it = page_to_frame_.find(page);
-  if (it != page_to_frame_.end()) {
-    ++hits_;
+size_t BufferPool::FrameFor(Partition& part, PageNo page,
+                            bool load_from_pager) {
+  auto it = part.page_to_frame.find(page);
+  if (it != part.page_to_frame.end()) {
+    ++part.hits;
     return it->second;
   }
-  ++misses_;
+  ++part.misses;
   size_t idx;
-  if (!free_frames_.empty()) {
-    idx = free_frames_.back();
-    free_frames_.pop_back();
+  if (!part.free_frames.empty()) {
+    idx = part.free_frames.back();
+    part.free_frames.pop_back();
   } else {
-    idx = EvictOne();
+    idx = EvictOne(part);
   }
-  Frame& f = frames_[idx];
+  Frame& f = part.frames[idx];
   f.page = page;
   f.pins = 0;
   f.dirty = false;
   f.in_lru = false;
   if (load_from_pager) pager_->Read(page, f.data.data());
-  page_to_frame_.emplace(page, idx);
+  part.page_to_frame.emplace(page, idx);
+  return idx;
+}
+
+size_t BufferPool::PinLocked(Partition& part, PageNo page,
+                             bool load_from_pager) {
+  const size_t idx = FrameFor(part, page, load_from_pager);
+  Frame& f = part.frames[idx];
+  if (f.in_lru) {
+    part.lru.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pins;
   return idx;
 }
 
 uint8_t* BufferPool::Pin(PageNo page) {
-  const size_t idx = FrameFor(page, /*load_from_pager=*/true);
-  Frame& f = frames_[idx];
-  if (f.in_lru) {
-    lru_.erase(f.lru_pos);
-    f.in_lru = false;
-  }
-  ++f.pins;
-  return f.data.data();
+  Partition& part = PartitionFor(page);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const size_t idx = PinLocked(part, page, /*load_from_pager=*/true);
+  return part.frames[idx].data.data();
 }
 
 void BufferPool::Unpin(PageNo page, bool dirty) {
-  auto it = page_to_frame_.find(page);
-  assert(it != page_to_frame_.end() && "unpin of uncached page");
-  Frame& f = frames_[it->second];
+  Partition& part = PartitionFor(page);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.page_to_frame.find(page);
+  assert(it != part.page_to_frame.end() && "unpin of uncached page");
+  Frame& f = part.frames[it->second];
   assert(f.pins > 0);
   f.dirty |= dirty;
   if (--f.pins == 0) {
-    lru_.push_front(it->second);
-    f.lru_pos = lru_.begin();
+    part.lru.push_front(it->second);
+    f.lru_pos = part.lru.begin();
     f.in_lru = true;
   }
 }
 
 PageNo BufferPool::AllocatePinned(uint8_t** data_out) {
   const PageNo page = pager_->Allocate();
-  const size_t idx = FrameFor(page, /*load_from_pager=*/false);
-  Frame& f = frames_[idx];
+  Partition& part = PartitionFor(page);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const size_t idx = PinLocked(part, page, /*load_from_pager=*/false);
+  Frame& f = part.frames[idx];
   std::fill(f.data.begin(), f.data.end(), 0);
-  if (f.in_lru) {
-    lru_.erase(f.lru_pos);
-    f.in_lru = false;
-  }
-  ++f.pins;
   // A freshly allocated page must reach the pager eventually even if it
   // is never modified again.
   f.dirty = true;
@@ -115,9 +202,13 @@ PageNo BufferPool::AllocatePinned(uint8_t** data_out) {
 }
 
 void BufferPool::FlushAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].page != kInvalidPageNo && frames_[i].dirty) {
-      WriteBack(i);
+  for (auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (size_t i = 0; i < part->frames.size(); ++i) {
+      Frame& f = part->frames[i];
+      if (f.page != kInvalidPageNo && f.dirty && f.pins == 0) {
+        WriteBack(*part, i);
+      }
     }
   }
 }

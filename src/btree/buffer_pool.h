@@ -4,28 +4,54 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "btree/page.h"
 #include "btree/pager.h"
 #include "core/types.h"
+#include "util/rng.h"
 
 namespace lss {
 
-/// LRU buffer cache over a Pager, the component that shapes the page
-/// write I/O stream the paper's TPC-C experiment consumes ("The buffer
-/// cache size was set at 4GB", §6.3). Dirty pages are written back on
-/// eviction (and on checkpoints/flushes); each write-back is reported to
-/// the observer, which is how the cleaning-simulator trace is collected.
+/// Buffer cache over a Pager, the component that shapes the page write
+/// I/O stream the paper's TPC-C experiment consumes ("The buffer cache
+/// size was set at 4GB", §6.3). Dirty pages are written back on eviction
+/// (and on checkpoints/flushes); each write-back is reported to the
+/// observer, which is how the cleaning-simulator trace is collected.
+///
+/// Concurrency. The pool is latch-striped: frames are divided into N
+/// partitions and a page hashes (SplitMix64) to exactly one partition,
+/// whose mutex serialises every operation on its frames — lookup, pin
+/// bookkeeping, LRU maintenance, eviction and write-back. Distinct
+/// partitions proceed fully in parallel; a page's pager I/O only ever
+/// happens under its partition latch, so the pager needs no per-page
+/// locking of its own. Eviction is exact LRU *per partition* (a
+/// segmented LRU over the whole pool). The observer is invoked under
+/// the evicting partition's latch, possibly from many threads at once:
+/// it must be thread-safe and must not re-enter the pool.
+///
+/// Frame-content contract: the pool synchronises its own metadata, not
+/// the cached bytes. Callers must not mutate a page's bytes concurrently
+/// with another thread's access to the same page (the B+-tree layer
+/// guarantees this by running all writes to a tree under one lock).
+/// FlushAll skips frames that are pinned at flush time — their bytes are
+/// in active use — leaving them dirty for a later eviction or flush.
 class BufferPool {
  public:
-  /// Called with the page number of every write-back to the pager.
+  /// Called with the page number of every write-back to the pager. May
+  /// be invoked concurrently from any thread using the pool.
   using WriteObserver = std::function<void(PageNo)>;
 
-  /// `capacity_pages` must be >= 8 (the B+-tree pins a few pages at once).
+  /// `capacity_pages` must be >= 8 (the B+-tree pins a few pages at
+  /// once). `partitions` of 0 picks automatically: enough stripes to
+  /// scale, but never fewer than 64 frames per stripe so concurrent
+  /// pins cannot exhaust one (a stripe asserts when every frame in it
+  /// is pinned).
   BufferPool(Pager* pager, size_t capacity_pages,
-             WriteObserver observer = nullptr);
+             WriteObserver observer = nullptr, uint32_t partitions = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -42,14 +68,23 @@ class BufferPool {
   /// Allocates a fresh page (through the pager) and pins it dirty-able.
   PageNo AllocatePinned(uint8_t** data_out);
 
-  /// Writes back every dirty frame (a checkpoint). Frames stay cached.
+  /// Writes back every dirty unpinned frame (a checkpoint): a
+  /// cross-partition barrier that visits every stripe in turn. Frames
+  /// stay cached. Pinned frames are skipped (see class comment).
   void FlushAll();
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  uint64_t write_backs() const { return write_backs_; }
+  uint32_t partitions() const {
+    return static_cast<uint32_t>(parts_.size());
+  }
+
+  // Counters, summed across partitions (each under its latch, so the
+  // totals are consistent when the pool is quiescent and approximate
+  // while threads are running).
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  uint64_t write_backs() const;
   size_t PinnedFrames() const;
 
  private:
@@ -58,28 +93,40 @@ class BufferPool {
     std::vector<uint8_t> data;
     uint32_t pins = 0;
     bool dirty = false;
-    std::list<size_t>::iterator lru_pos;  // valid iff pins == 0
+    std::list<size_t>::iterator lru_pos;  // valid iff in_lru
     bool in_lru = false;
   };
 
-  // Frame index for `page`, loading (and possibly evicting) as needed.
-  size_t FrameFor(PageNo page, bool load_from_pager);
-  void WriteBack(size_t frame_idx);
-  size_t EvictOne();  // returns the freed frame index
+  // One latch stripe: a share of the frames plus all the state needed to
+  // run them as an independent LRU cache. Cache-line aligned so stripe
+  // mutexes do not false-share.
+  struct alignas(64) Partition {
+    std::mutex mu;
+    std::vector<Frame> frames;
+    std::unordered_map<PageNo, size_t> page_to_frame;
+    std::list<size_t> lru;  // front = most recent; only unpinned frames
+    std::vector<size_t> free_frames;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t write_backs = 0;
+  };
+
+  Partition& PartitionFor(PageNo page) {
+    return *parts_[SplitMix64(page) % parts_.size()];
+  }
+
+  // All four run under part.mu. PinLocked returns the pinned frame's
+  // index within the partition.
+  size_t FrameFor(Partition& part, PageNo page, bool load_from_pager);
+  void WriteBack(Partition& part, size_t frame_idx);
+  size_t EvictOne(Partition& part);  // returns the freed frame index
+  size_t PinLocked(Partition& part, PageNo page, bool load_from_pager);
 
   Pager* pager_;
   size_t capacity_;
   WriteObserver observer_;
-
-  std::vector<Frame> frames_;
-  std::unordered_map<PageNo, size_t> page_to_frame_;
-  std::list<size_t> lru_;  // front = most recent; only unpinned frames
-  std::vector<size_t> free_frames_;
-
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t write_backs_ = 0;
+  std::vector<std::unique_ptr<Partition>> parts_;
 };
 
 /// RAII pin on a buffer-pool page. Move-only.

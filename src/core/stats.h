@@ -76,6 +76,12 @@ class StoreStats {
   uint64_t group_fsync_ops = 0;
   /// Open-segment checkpoint records persisted (async or periodic).
   uint64_t checkpoints_written = 0;
+  /// Times AllocateSegment fell through to plain reuse of a slot whose
+  /// free record is still withheld — the residual PR 3 crash window,
+  /// reachable only when a policy keeps more GC destinations open than
+  /// there are spare free slots (multi-log at tiny free pools). The
+  /// torture harness's multi-log geometry asserts this fires.
+  uint64_t withheld_slot_reuses = 0;
 
   /// Write amplification (Equation 2), measured: moved pages per physical
   /// user page write.
@@ -134,6 +140,7 @@ class StoreStats {
     group_fsyncs += other.group_fsyncs;
     group_fsync_ops += other.group_fsync_ops;
     checkpoints_written += other.checkpoints_written;
+    withheld_slot_reuses += other.withheld_slot_reuses;
     clean_emptiness_.Merge(other.clean_emptiness_);
   }
 
@@ -160,6 +167,7 @@ class StoreStats {
     group_fsyncs = 0;
     group_fsync_ops = 0;
     checkpoints_written = 0;
+    withheld_slot_reuses = 0;
     clean_emptiness_.Reset();
   }
 

@@ -670,6 +670,11 @@ SegmentId StoreShard::AllocateSegment(uint32_t log) {
       return kInvalidSegment;
     }
     if (pick_non_withheld(&id)) return id;
+    // Every remaining free slot is a withheld victim: the reuse below
+    // re-opens the residual window. Counted so geometry tests (the
+    // torture harness's multi-log tiny-pool run) can prove this path is
+    // actually reached.
+    ++stats_.withheld_slot_reuses;
   }
   const SegmentId id = free_list_.back();
   free_list_.pop_back();

@@ -3,36 +3,92 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "tpcc/keys.h"
 
 namespace lss::tpcc {
 
+namespace {
+
+BufferPool::WriteObserver MakeTraceObserver(Trace* trace) {
+  if (trace == nullptr) return BufferPool::WriteObserver();
+  return [trace](PageNo p) { trace->AppendWrite(p); };
+}
+
+}  // namespace
+
 TpccDb::TpccDb(const TpccConfig& config, Trace* trace)
+    : TpccDb(config, MakeTraceObserver(trace)) {
+  // A single Trace is not thread-safe; remember to keep Populate on this
+  // thread.
+  single_threaded_observer_ = trace != nullptr;
+}
+
+TpccDb::TpccDb(const TpccConfig& config, BufferPool::WriteObserver observer)
     : config_(config),
       rnd_(config.seed),
-      pool_(&pager_, config.buffer_pool_pages,
-            trace == nullptr
-                ? BufferPool::WriteObserver()
-                : [trace](PageNo p) { trace->AppendWrite(p); }) {
-  warehouse_ = std::make_unique<BTree>(&pool_);
-  district_ = std::make_unique<BTree>(&pool_);
-  customer_ = std::make_unique<BTree>(&pool_);
-  history_ = std::make_unique<BTree>(&pool_);
-  new_order_ = std::make_unique<BTree>(&pool_);
-  order_ = std::make_unique<BTree>(&pool_);
-  order_line_ = std::make_unique<BTree>(&pool_);
+      pool_(&pager_, config.buffer_pool_pages, std::move(observer)),
+      session0_(config.seed, 0) {
+  InitPartitions();
+}
+
+void TpccDb::InitPartitions() {
+  const uint32_t groups = config_.PartitionGroups();
+  parts_.reserve(groups);
+  for (uint32_t p = 0; p < groups; ++p) {
+    auto part = std::make_unique<Partition>();
+    part->warehouse = std::make_unique<BTree>(&pool_);
+    part->district = std::make_unique<BTree>(&pool_);
+    part->customer = std::make_unique<BTree>(&pool_);
+    part->history = std::make_unique<BTree>(&pool_);
+    part->new_order = std::make_unique<BTree>(&pool_);
+    part->order = std::make_unique<BTree>(&pool_);
+    part->order_line = std::make_unique<BTree>(&pool_);
+    part->stock = std::make_unique<BTree>(&pool_);
+    part->customer_name_idx = std::make_unique<BTree>(&pool_);
+    part->order_customer_idx = std::make_unique<BTree>(&pool_);
+    parts_.push_back(std::move(part));
+  }
   item_ = std::make_unique<BTree>(&pool_);
-  stock_ = std::make_unique<BTree>(&pool_);
-  customer_name_idx_ = std::make_unique<BTree>(&pool_);
-  order_customer_idx_ = std::make_unique<BTree>(&pool_);
+}
+
+TpccDb::Session TpccDb::MakeSession(uint32_t worker) const {
+  assert(worker < parts_.size());
+  // Worker 0 reproduces the built-in session's stream; other workers get
+  // decorrelated streams off the same seed.
+  return Session(config_.seed + worker * 0x9E3779B97F4A7C15ull, worker);
+}
+
+uint32_t TpccDb::HomeWarehouse(Session& s) {
+  const uint32_t groups = static_cast<uint32_t>(parts_.size());
+  const uint32_t count = HomeWarehouseCount(s.worker_);
+  const uint32_t idx = static_cast<uint32_t>(s.rnd_.Uniform(1, count));
+  return s.worker_ + 1 + (idx - 1) * groups;
 }
 
 // --- Population ----------------------------------------------------------
 
 void TpccDb::Populate() {
-  // Items (shared across warehouses).
+  PopulateItems();
+  const uint32_t groups = workers();
+  if (groups > 1 && !single_threaded_observer_) {
+    // Each worker populates only its own partition group, so the workers
+    // are independent up to the (thread-safe) buffer pool and pager.
+    std::vector<std::thread> threads;
+    threads.reserve(groups);
+    for (uint32_t t = 0; t < groups; ++t) {
+      threads.emplace_back([this, t] { PopulateWorker(t); });
+    }
+    for (std::thread& th : threads) th.join();
+  } else {
+    for (uint32_t t = 0; t < groups; ++t) PopulateWorker(t);
+  }
+}
+
+void TpccDb::PopulateItems() {
+  // Items (shared across warehouses; read-only once loaded).
   for (uint32_t i = 1; i <= config_.items; ++i) {
     ItemRow row{};
     row.i_id = static_cast<int32_t>(i);
@@ -42,141 +98,154 @@ void TpccDb::Populate() {
     SetField(row.i_data, rnd_.AString(26, 40));
     item_->Insert(ItemKey(i), RowView(row));
   }
+}
 
-  for (uint32_t w = 1; w <= config_.warehouses; ++w) {
-    WarehouseRow wr{};
-    wr.w_id = static_cast<int32_t>(w);
-    SetField(wr.w_name, rnd_.AString(6, 10));
-    SetField(wr.w_street_1, rnd_.AString(10, 20));
-    SetField(wr.w_street_2, rnd_.AString(10, 20));
-    SetField(wr.w_city, rnd_.AString(10, 20));
-    SetField(wr.w_state, rnd_.AString(2, 2));
-    SetField(wr.w_zip, rnd_.NString(9, 9));
-    wr.w_tax = rnd_.UniformDouble() * 0.2;
-    wr.w_ytd = 300000.0;
-    warehouse_->Insert(WarehouseKey(w), RowView(wr));
+void TpccDb::PopulateWorker(uint32_t worker) {
+  const uint32_t groups = static_cast<uint32_t>(parts_.size());
+  for (uint32_t w = worker + 1; w <= config_.warehouses; w += groups) {
+    PopulateWarehouse(w);
+  }
+}
 
-    // Stock.
-    for (uint32_t i = 1; i <= config_.items; ++i) {
-      StockRow sr{};
-      sr.s_i_id = static_cast<int32_t>(i);
-      sr.s_w_id = static_cast<int32_t>(w);
-      sr.s_quantity = static_cast<int32_t>(rnd_.Uniform(10, 100));
-      for (auto& dist : sr.s_dist) SetField(dist, rnd_.AString(24, 24));
-      sr.s_ytd = 0;
-      sr.s_order_cnt = 0;
-      sr.s_remote_cnt = 0;
-      SetField(sr.s_data, rnd_.AString(26, 40));
-      stock_->Insert(StockKey(w, i), RowView(sr));
+void TpccDb::PopulateWarehouse(uint32_t w) {
+  // A per-warehouse RNG stream keeps population deterministic no matter
+  // how warehouses are spread over threads.
+  TpccRandom wrnd(config_.seed * 0x9E3779B97F4A7C15ull + w);
+  Partition& part = Part(w);
+  std::lock_guard<std::mutex> lock(part.mu);
+
+  WarehouseRow wr{};
+  wr.w_id = static_cast<int32_t>(w);
+  SetField(wr.w_name, wrnd.AString(6, 10));
+  SetField(wr.w_street_1, wrnd.AString(10, 20));
+  SetField(wr.w_street_2, wrnd.AString(10, 20));
+  SetField(wr.w_city, wrnd.AString(10, 20));
+  SetField(wr.w_state, wrnd.AString(2, 2));
+  SetField(wr.w_zip, wrnd.NString(9, 9));
+  wr.w_tax = wrnd.UniformDouble() * 0.2;
+  wr.w_ytd = 300000.0;
+  part.warehouse->Insert(WarehouseKey(w), RowView(wr));
+
+  // Stock.
+  for (uint32_t i = 1; i <= config_.items; ++i) {
+    StockRow sr{};
+    sr.s_i_id = static_cast<int32_t>(i);
+    sr.s_w_id = static_cast<int32_t>(w);
+    sr.s_quantity = static_cast<int32_t>(wrnd.Uniform(10, 100));
+    for (auto& dist : sr.s_dist) SetField(dist, wrnd.AString(24, 24));
+    sr.s_ytd = 0;
+    sr.s_order_cnt = 0;
+    sr.s_remote_cnt = 0;
+    SetField(sr.s_data, wrnd.AString(26, 40));
+    part.stock->Insert(StockKey(w, i), RowView(sr));
+  }
+
+  for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+    DistrictRow dr{};
+    dr.d_id = static_cast<int32_t>(d);
+    dr.d_w_id = static_cast<int32_t>(w);
+    SetField(dr.d_name, wrnd.AString(6, 10));
+    SetField(dr.d_street_1, wrnd.AString(10, 20));
+    SetField(dr.d_street_2, wrnd.AString(10, 20));
+    SetField(dr.d_city, wrnd.AString(10, 20));
+    SetField(dr.d_state, wrnd.AString(2, 2));
+    SetField(dr.d_zip, wrnd.NString(9, 9));
+    dr.d_tax = wrnd.UniformDouble() * 0.2;
+    dr.d_ytd = 30000.0;
+    dr.d_next_o_id = static_cast<int32_t>(config_.orders_per_district + 1);
+    part.district->Insert(DistrictKey(w, d), RowView(dr));
+
+    // Customers (+1 history row each).
+    for (uint32_t c = 1; c <= config_.customers_per_district; ++c) {
+      CustomerRow cr{};
+      cr.c_id = static_cast<int32_t>(c);
+      cr.c_d_id = static_cast<int32_t>(d);
+      cr.c_w_id = static_cast<int32_t>(w);
+      SetField(cr.c_first, wrnd.AString(8, 16));
+      SetField(cr.c_middle, "OE");
+      // First 1000 customers get sequential names so every name exists.
+      const std::string last = (c <= 1000)
+                                   ? TpccRandom::LastName((c - 1) % 1000)
+                                   : wrnd.RandomLastNameLoad();
+      SetField(cr.c_last, last);
+      SetField(cr.c_street_1, wrnd.AString(10, 20));
+      SetField(cr.c_street_2, wrnd.AString(10, 20));
+      SetField(cr.c_city, wrnd.AString(10, 20));
+      SetField(cr.c_state, wrnd.AString(2, 2));
+      SetField(cr.c_zip, wrnd.NString(9, 9));
+      SetField(cr.c_phone, wrnd.NString(16, 16));
+      cr.c_since = Now();
+      SetField(cr.c_credit, wrnd.Uniform(1, 10) == 1 ? "BC" : "GC");
+      cr.c_credit_lim = 50000.0;
+      cr.c_discount = wrnd.UniformDouble() * 0.5;
+      cr.c_balance = -10.0;
+      cr.c_ytd_payment = 10.0;
+      cr.c_payment_cnt = 1;
+      cr.c_delivery_cnt = 0;
+      SetField(cr.c_data, wrnd.AString(200, 300));
+      part.customer->Insert(CustomerKey(w, d, c), RowView(cr));
+      part.customer_name_idx->Insert(CustomerNameKey(w, d, last, c),
+                                     std::string_view());
+
+      HistoryRow hr{};
+      hr.h_c_id = cr.c_id;
+      hr.h_c_d_id = cr.c_d_id;
+      hr.h_c_w_id = cr.c_w_id;
+      hr.h_d_id = cr.c_d_id;
+      hr.h_w_id = cr.c_w_id;
+      hr.h_date = Now();
+      hr.h_amount = 10.0;
+      SetField(hr.h_data, wrnd.AString(12, 24));
+      part.history->Insert(HistoryKey(w, d, part.history_seq++), RowView(hr));
     }
 
-    for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
-      DistrictRow dr{};
-      dr.d_id = static_cast<int32_t>(d);
-      dr.d_w_id = static_cast<int32_t>(w);
-      SetField(dr.d_name, rnd_.AString(6, 10));
-      SetField(dr.d_street_1, rnd_.AString(10, 20));
-      SetField(dr.d_street_2, rnd_.AString(10, 20));
-      SetField(dr.d_city, rnd_.AString(10, 20));
-      SetField(dr.d_state, rnd_.AString(2, 2));
-      SetField(dr.d_zip, rnd_.NString(9, 9));
-      dr.d_tax = rnd_.UniformDouble() * 0.2;
-      dr.d_ytd = 30000.0;
-      dr.d_next_o_id = static_cast<int32_t>(config_.orders_per_district + 1);
-      district_->Insert(DistrictKey(w, d), RowView(dr));
-
-      // Customers (+1 history row each).
-      for (uint32_t c = 1; c <= config_.customers_per_district; ++c) {
-        CustomerRow cr{};
-        cr.c_id = static_cast<int32_t>(c);
-        cr.c_d_id = static_cast<int32_t>(d);
-        cr.c_w_id = static_cast<int32_t>(w);
-        SetField(cr.c_first, rnd_.AString(8, 16));
-        SetField(cr.c_middle, "OE");
-        // First 1000 customers get sequential names so every name exists.
-        const std::string last = (c <= 1000)
-                                     ? TpccRandom::LastName((c - 1) % 1000)
-                                     : rnd_.RandomLastNameLoad();
-        SetField(cr.c_last, last);
-        SetField(cr.c_street_1, rnd_.AString(10, 20));
-        SetField(cr.c_street_2, rnd_.AString(10, 20));
-        SetField(cr.c_city, rnd_.AString(10, 20));
-        SetField(cr.c_state, rnd_.AString(2, 2));
-        SetField(cr.c_zip, rnd_.NString(9, 9));
-        SetField(cr.c_phone, rnd_.NString(16, 16));
-        cr.c_since = Now();
-        SetField(cr.c_credit, rnd_.Uniform(1, 10) == 1 ? "BC" : "GC");
-        cr.c_credit_lim = 50000.0;
-        cr.c_discount = rnd_.UniformDouble() * 0.5;
-        cr.c_balance = -10.0;
-        cr.c_ytd_payment = 10.0;
-        cr.c_payment_cnt = 1;
-        cr.c_delivery_cnt = 0;
-        SetField(cr.c_data, rnd_.AString(200, 300));
-        customer_->Insert(CustomerKey(w, d, c), RowView(cr));
-        customer_name_idx_->Insert(CustomerNameKey(w, d, last, c),
-                                   std::string_view());
-
-        HistoryRow hr{};
-        hr.h_c_id = cr.c_id;
-        hr.h_c_d_id = cr.c_d_id;
-        hr.h_c_w_id = cr.c_w_id;
-        hr.h_d_id = cr.c_d_id;
-        hr.h_w_id = cr.c_w_id;
-        hr.h_date = Now();
-        hr.h_amount = 10.0;
-        SetField(hr.h_data, rnd_.AString(12, 24));
-        history_->Insert(HistoryKey(w, d, history_seq_++), RowView(hr));
+    // Orders: one per customer, customer ids permuted; the oldest ~70%
+    // delivered, the rest pending in NEW_ORDER.
+    std::vector<uint32_t> cust_perm(config_.customers_per_district);
+    for (uint32_t c = 0; c < cust_perm.size(); ++c) cust_perm[c] = c + 1;
+    for (size_t i = cust_perm.size(); i > 1; --i) {
+      std::swap(cust_perm[i - 1], cust_perm[wrnd.rng().NextBounded(i)]);
+    }
+    const uint32_t delivered_upto =
+        config_.orders_per_district * 7 / 10;
+    for (uint32_t o = 1; o <= config_.orders_per_district; ++o) {
+      const uint32_t c = cust_perm[(o - 1) % cust_perm.size()];
+      OrderRow orow{};
+      orow.o_id = static_cast<int32_t>(o);
+      orow.o_d_id = static_cast<int32_t>(d);
+      orow.o_w_id = static_cast<int32_t>(w);
+      orow.o_c_id = static_cast<int32_t>(c);
+      orow.o_entry_d = Now();
+      orow.o_ol_cnt = static_cast<int32_t>(wrnd.Uniform(5, 15));
+      orow.o_carrier_id =
+          o <= delivered_upto ? static_cast<int32_t>(wrnd.Uniform(1, 10))
+                              : 0;
+      orow.o_all_local = 1;
+      part.order->Insert(OrderKey(w, d, o), RowView(orow));
+      part.order_customer_idx->Insert(OrderCustomerKey(w, d, c, o),
+                                      std::string_view());
+      for (int32_t l = 1; l <= orow.o_ol_cnt; ++l) {
+        OrderLineRow ol{};
+        ol.ol_o_id = orow.o_id;
+        ol.ol_d_id = orow.o_d_id;
+        ol.ol_w_id = orow.o_w_id;
+        ol.ol_number = l;
+        ol.ol_i_id = static_cast<int32_t>(wrnd.Uniform(1, config_.items));
+        ol.ol_supply_w_id = orow.o_w_id;
+        ol.ol_delivery_d = o <= delivered_upto ? orow.o_entry_d : 0;
+        ol.ol_quantity = 5;
+        ol.ol_amount =
+            o <= delivered_upto ? 0.0 : wrnd.UniformDouble() * 9999.99;
+        SetField(ol.ol_dist_info, wrnd.AString(24, 24));
+        part.order_line->Insert(
+            OrderLineKey(w, d, o, static_cast<uint32_t>(l)), RowView(ol));
       }
-
-      // Orders: one per customer, customer ids permuted; the oldest ~70%
-      // delivered, the rest pending in NEW_ORDER.
-      std::vector<uint32_t> cust_perm(config_.customers_per_district);
-      for (uint32_t c = 0; c < cust_perm.size(); ++c) cust_perm[c] = c + 1;
-      for (size_t i = cust_perm.size(); i > 1; --i) {
-        std::swap(cust_perm[i - 1], cust_perm[rnd_.rng().NextBounded(i)]);
-      }
-      const uint32_t delivered_upto =
-          config_.orders_per_district * 7 / 10;
-      for (uint32_t o = 1; o <= config_.orders_per_district; ++o) {
-        const uint32_t c = cust_perm[(o - 1) % cust_perm.size()];
-        OrderRow orow{};
-        orow.o_id = static_cast<int32_t>(o);
-        orow.o_d_id = static_cast<int32_t>(d);
-        orow.o_w_id = static_cast<int32_t>(w);
-        orow.o_c_id = static_cast<int32_t>(c);
-        orow.o_entry_d = Now();
-        orow.o_ol_cnt = static_cast<int32_t>(rnd_.Uniform(5, 15));
-        orow.o_carrier_id =
-            o <= delivered_upto ? static_cast<int32_t>(rnd_.Uniform(1, 10))
-                                : 0;
-        orow.o_all_local = 1;
-        order_->Insert(OrderKey(w, d, o), RowView(orow));
-        order_customer_idx_->Insert(OrderCustomerKey(w, d, c, o),
-                                    std::string_view());
-        for (int32_t l = 1; l <= orow.o_ol_cnt; ++l) {
-          OrderLineRow ol{};
-          ol.ol_o_id = orow.o_id;
-          ol.ol_d_id = orow.o_d_id;
-          ol.ol_w_id = orow.o_w_id;
-          ol.ol_number = l;
-          ol.ol_i_id = static_cast<int32_t>(rnd_.Uniform(1, config_.items));
-          ol.ol_supply_w_id = orow.o_w_id;
-          ol.ol_delivery_d = o <= delivered_upto ? orow.o_entry_d : 0;
-          ol.ol_quantity = 5;
-          ol.ol_amount =
-              o <= delivered_upto ? 0.0 : rnd_.UniformDouble() * 9999.99;
-          SetField(ol.ol_dist_info, rnd_.AString(24, 24));
-          order_line_->Insert(OrderLineKey(w, d, o, static_cast<uint32_t>(l)),
-                              RowView(ol));
-        }
-        if (o > delivered_upto) {
-          NewOrderRow no{};
-          no.no_o_id = orow.o_id;
-          no.no_d_id = orow.o_d_id;
-          no.no_w_id = orow.o_w_id;
-          new_order_->Insert(NewOrderKey(w, d, o), RowView(no));
-        }
+      if (o > delivered_upto) {
+        NewOrderRow no{};
+        no.no_o_id = orow.o_id;
+        no.no_d_id = orow.o_d_id;
+        no.no_w_id = orow.o_w_id;
+        part.new_order->Insert(NewOrderKey(w, d, o), RowView(no));
       }
     }
   }
@@ -184,60 +253,64 @@ void TpccDb::Populate() {
 
 // --- Transactions ---------------------------------------------------------
 
-TpccDb::TxnType TpccDb::RunNextTransaction() {
-  const int64_t r = rnd_.Uniform(1, 100);
+TpccDb::TxnType TpccDb::RunNextTransaction(Session& s) {
+  const int64_t r = s.rnd_.Uniform(1, 100);
   TxnType t;
   if (r <= 45) {
     t = TxnType::kNewOrder;
-    NewOrder();
+    NewOrder(s);
   } else if (r <= 88) {
     t = TxnType::kPayment;
-    Payment();
+    Payment(s);
   } else if (r <= 92) {
     t = TxnType::kOrderStatus;
-    OrderStatus();
+    OrderStatus(s);
   } else if (r <= 96) {
     t = TxnType::kDelivery;
-    Delivery();
+    Delivery(s);
   } else {
     t = TxnType::kStockLevel;
-    StockLevel();
+    StockLevel(s);
   }
-  ++txn_counts_[static_cast<int>(t)];
+  txn_counts_[static_cast<int>(t)].fetch_add(1, std::memory_order_relaxed);
   return t;
 }
 
-bool TpccDb::NewOrder() {
-  const uint32_t w = static_cast<uint32_t>(rnd_.Uniform(1, config_.warehouses));
+bool TpccDb::NewOrder(Session& s) {
+  const uint32_t w = HomeWarehouse(s);
   const uint32_t d = static_cast<uint32_t>(
-      rnd_.Uniform(1, config_.districts_per_warehouse));
+      s.rnd_.Uniform(1, config_.districts_per_warehouse));
   const uint32_t c = static_cast<uint32_t>(
-      rnd_.NURand(1023, 1, config_.customers_per_district));
-  const int ol_cnt = static_cast<int>(rnd_.Uniform(5, 15));
+      s.rnd_.NURand(1023, 1, config_.customers_per_district));
+  const int ol_cnt = static_cast<int>(s.rnd_.Uniform(5, 15));
   // 1% of New-Order transactions use an invalid item and roll back
   // (clause 2.4.1.4). Without undo we emulate the effect: reads happen,
   // writes do not.
-  const bool rollback = rnd_.Uniform(1, 100) == 1;
+  const bool rollback = s.rnd_.Uniform(1, 100) == 1;
+
+  Partition& home = Part(w);
+  std::unique_lock<std::mutex> lk(home.mu);
 
   std::string buf;
   WarehouseRow wr;
-  if (!warehouse_->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
+  if (!home.warehouse->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
     return false;
   }
   DistrictRow dr;
-  if (!district_->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
+  if (!home.district->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
     return false;
   }
   CustomerRow cr;
-  if (!customer_->Get(CustomerKey(w, d, c), &buf) || !RowFrom(buf, &cr)) {
+  if (!home.customer->Get(CustomerKey(w, d, c), &buf) || !RowFrom(buf, &cr)) {
     return false;
   }
 
   if (rollback) {
-    // Read the items that would have been ordered, then abort.
+    // Read the items that would have been ordered, then abort. ITEM is
+    // shared and read-only, so no latch is needed for it.
     for (int l = 0; l < ol_cnt; ++l) {
       const uint32_t i =
-          static_cast<uint32_t>(rnd_.NURand(8191, 1, config_.items));
+          static_cast<uint32_t>(s.rnd_.NURand(8191, 1, config_.items));
       item_->Get(ItemKey(i), &buf);
     }
     return false;
@@ -245,7 +318,7 @@ bool TpccDb::NewOrder() {
 
   const uint32_t o_id = static_cast<uint32_t>(dr.d_next_o_id);
   dr.d_next_o_id += 1;
-  district_->Put(DistrictKey(w, d), RowView(dr));
+  home.district->Put(DistrictKey(w, d), RowView(dr));
 
   OrderRow orow{};
   orow.o_id = static_cast<int32_t>(o_id);
@@ -260,30 +333,51 @@ bool TpccDb::NewOrder() {
   double total = 0.0;
   for (int l = 1; l <= ol_cnt; ++l) {
     const uint32_t i_id =
-        static_cast<uint32_t>(rnd_.NURand(8191, 1, config_.items));
+        static_cast<uint32_t>(s.rnd_.NURand(8191, 1, config_.items));
     // 1% remote supply warehouse when there is more than one.
     uint32_t supply_w = w;
-    if (config_.warehouses > 1 && rnd_.Uniform(1, 100) == 1) {
+    if (config_.warehouses > 1 && s.rnd_.Uniform(1, 100) == 1) {
       do {
         supply_w =
-            static_cast<uint32_t>(rnd_.Uniform(1, config_.warehouses));
+            static_cast<uint32_t>(s.rnd_.Uniform(1, config_.warehouses));
       } while (supply_w == w);
       orow.o_all_local = 0;
     }
-    const int32_t qty = static_cast<int32_t>(rnd_.Uniform(1, 10));
+    const int32_t qty = static_cast<int32_t>(s.rnd_.Uniform(1, 10));
 
     ItemRow ir;
     if (!item_->Get(ItemKey(i_id), &buf) || !RowFrom(buf, &ir)) return false;
+
+    // The stock row lives in the supplying warehouse's partition. Its
+    // read-modify-write must run contiguously under that partition's
+    // latch; when the supplier is remote, home is released first so at
+    // most one partition latch is ever held (no deadlock, see class
+    // comment).
     StockRow sr;
-    if (!stock_->Get(StockKey(supply_w, i_id), &buf) || !RowFrom(buf, &sr)) {
-      return false;
+    Partition& sp = Part(supply_w);
+    bool stock_ok;
+    auto stock_rmw = [&]() {
+      stock_ok = sp.stock->Get(StockKey(supply_w, i_id), &buf) &&
+                 RowFrom(buf, &sr);
+      if (!stock_ok) return;
+      sr.s_quantity = sr.s_quantity >= qty + 10 ? sr.s_quantity - qty
+                                                : sr.s_quantity - qty + 91;
+      sr.s_ytd += qty;
+      sr.s_order_cnt += 1;
+      if (supply_w != w) sr.s_remote_cnt += 1;
+      sp.stock->Put(StockKey(supply_w, i_id), RowView(sr));
+    };
+    if (&sp == &home) {
+      stock_rmw();
+    } else {
+      lk.unlock();
+      {
+        std::lock_guard<std::mutex> remote(sp.mu);
+        stock_rmw();
+      }
+      lk.lock();
     }
-    sr.s_quantity = sr.s_quantity >= qty + 10 ? sr.s_quantity - qty
-                                              : sr.s_quantity - qty + 91;
-    sr.s_ytd += qty;
-    sr.s_order_cnt += 1;
-    if (supply_w != w) sr.s_remote_cnt += 1;
-    stock_->Put(StockKey(supply_w, i_id), RowView(sr));
+    if (!stock_ok) return false;
 
     OrderLineRow ol{};
     ol.ol_o_id = static_cast<int32_t>(o_id);
@@ -296,26 +390,28 @@ bool TpccDb::NewOrder() {
     ol.ol_quantity = qty;
     ol.ol_amount = qty * ir.i_price;
     std::memcpy(ol.ol_dist_info, sr.s_dist[d - 1], sizeof(ol.ol_dist_info));
-    order_line_->Insert(OrderLineKey(w, d, o_id, static_cast<uint32_t>(l)),
-                        RowView(ol));
+    home.order_line->Insert(
+        OrderLineKey(w, d, o_id, static_cast<uint32_t>(l)), RowView(ol));
     total += ol.ol_amount;
   }
   (void)total;
 
-  order_->Insert(OrderKey(w, d, o_id), RowView(orow));
-  order_customer_idx_->Insert(OrderCustomerKey(w, d, c, o_id),
-                              std::string_view());
+  home.order->Insert(OrderKey(w, d, o_id), RowView(orow));
+  home.order_customer_idx->Insert(OrderCustomerKey(w, d, c, o_id),
+                                  std::string_view());
   NewOrderRow no{};
   no.no_o_id = static_cast<int32_t>(o_id);
   no.no_d_id = static_cast<int32_t>(d);
   no.no_w_id = static_cast<int32_t>(w);
-  new_order_->Insert(NewOrderKey(w, d, o_id), RowView(no));
+  home.new_order->Insert(NewOrderKey(w, d, o_id), RowView(no));
   return true;
 }
 
-bool TpccDb::PickCustomer(uint32_t w, uint32_t d, CustomerRow* row) {
+bool TpccDb::PickCustomer(Session& s, uint32_t w, uint32_t d,
+                          CustomerRow* row) {
+  Partition& part = Part(w);
   std::string buf;
-  if (rnd_.Uniform(1, 100) <= 60) {
+  if (s.rnd_.Uniform(1, 100) <= 60) {
     // By last name: collect matches, take the middle one (clause 2.5.2.2).
     // Scaled-down databases seed fewer than the standard's 1000 names
     // (population gives customer c <= 1000 name (c-1) % 1000), so the
@@ -323,69 +419,93 @@ bool TpccDb::PickCustomer(uint32_t w, uint32_t d, CustomerRow* row) {
     const int name_space = static_cast<int>(
         std::min<uint32_t>(1000, config_.customers_per_district));
     const int name_num =
-        static_cast<int>(rnd_.NURand(255, 0, 999)) % name_space;
+        static_cast<int>(s.rnd_.NURand(255, 0, 999)) % name_space;
     const std::string last = TpccRandom::LastName(name_num);
     const std::string prefix = CustomerNamePrefix(w, d, last);
     std::vector<uint32_t> ids;
-    for (auto it = customer_name_idx_->Seek(prefix);
+    for (auto it = part.customer_name_idx->Seek(prefix);
          it.Valid() && HasPrefix(it.key(), prefix); it.Next()) {
       ids.push_back(ReadU32(it.key(), 24));
     }
     if (ids.empty()) return false;
     const uint32_t c = ids[ids.size() / 2];
-    return customer_->Get(CustomerKey(w, d, c), &buf) && RowFrom(buf, row);
+    return part.customer->Get(CustomerKey(w, d, c), &buf) &&
+           RowFrom(buf, row);
   }
   const uint32_t c = static_cast<uint32_t>(
-      rnd_.NURand(1023, 1, config_.customers_per_district));
-  return customer_->Get(CustomerKey(w, d, c), &buf) && RowFrom(buf, row);
+      s.rnd_.NURand(1023, 1, config_.customers_per_district));
+  return part.customer->Get(CustomerKey(w, d, c), &buf) && RowFrom(buf, row);
 }
 
-bool TpccDb::Payment() {
-  const uint32_t w = static_cast<uint32_t>(rnd_.Uniform(1, config_.warehouses));
+bool TpccDb::Payment(Session& s) {
+  const uint32_t w = HomeWarehouse(s);
   const uint32_t d = static_cast<uint32_t>(
-      rnd_.Uniform(1, config_.districts_per_warehouse));
+      s.rnd_.Uniform(1, config_.districts_per_warehouse));
   // 85% local customer; 15% from a remote warehouse when there is one.
   uint32_t c_w = w;
   uint32_t c_d = d;
-  if (config_.warehouses > 1 && rnd_.Uniform(1, 100) > 85) {
+  if (config_.warehouses > 1 && s.rnd_.Uniform(1, 100) > 85) {
     do {
-      c_w = static_cast<uint32_t>(rnd_.Uniform(1, config_.warehouses));
+      c_w = static_cast<uint32_t>(s.rnd_.Uniform(1, config_.warehouses));
     } while (c_w == w);
     c_d = static_cast<uint32_t>(
-        rnd_.Uniform(1, config_.districts_per_warehouse));
+        s.rnd_.Uniform(1, config_.districts_per_warehouse));
   }
-  const double amount = 1.0 + rnd_.UniformDouble() * 4999.0;
+  const double amount = 1.0 + s.rnd_.UniformDouble() * 4999.0;
+
+  Partition& home = Part(w);
+  std::unique_lock<std::mutex> lk(home.mu);
 
   std::string buf;
   WarehouseRow wr;
-  if (!warehouse_->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
+  if (!home.warehouse->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
     return false;
   }
   wr.w_ytd += amount;
-  warehouse_->Put(WarehouseKey(w), RowView(wr));
+  home.warehouse->Put(WarehouseKey(w), RowView(wr));
 
   DistrictRow dr;
-  if (!district_->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
+  if (!home.district->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
     return false;
   }
   dr.d_ytd += amount;
-  district_->Put(DistrictKey(w, d), RowView(dr));
+  home.district->Put(DistrictKey(w, d), RowView(dr));
 
+  // The customer row (and its selection scan) belongs to c_w's
+  // partition; swap latches when it is remote. The w_ytd/d_ytd invariant
+  // pair was already updated atomically above, so releasing home here is
+  // safe.
   CustomerRow cr;
-  if (!PickCustomer(c_w, c_d, &cr)) return false;
-  cr.c_balance -= amount;
-  cr.c_ytd_payment += amount;
-  cr.c_payment_cnt += 1;
-  if (GetField(cr.c_credit) == "BC") {
-    // Bad credit: prepend payment info to c_data (clause 2.5.2.2).
-    char info[64];
-    std::snprintf(info, sizeof(info), "%d %d %d %d %d %.2f|", cr.c_id,
-                  cr.c_d_id, cr.c_w_id, d, w, amount);
-    std::string data = info + GetField(cr.c_data);
-    SetField(cr.c_data, data);
+  Partition& cp = Part(c_w);
+  bool cust_ok;
+  auto customer_rmw = [&]() {
+    cust_ok = PickCustomer(s, c_w, c_d, &cr);
+    if (!cust_ok) return;
+    cr.c_balance -= amount;
+    cr.c_ytd_payment += amount;
+    cr.c_payment_cnt += 1;
+    if (GetField(cr.c_credit) == "BC") {
+      // Bad credit: prepend payment info to c_data (clause 2.5.2.2).
+      char info[64];
+      std::snprintf(info, sizeof(info), "%d %d %d %d %d %.2f|", cr.c_id,
+                    cr.c_d_id, cr.c_w_id, d, w, amount);
+      std::string data = info + GetField(cr.c_data);
+      SetField(cr.c_data, data);
+    }
+    cp.customer->Put(CustomerKey(c_w, c_d, static_cast<uint32_t>(cr.c_id)),
+                     RowView(cr));
+  };
+  if (&cp == &home) {
+    customer_rmw();
+  } else {
+    lk.unlock();
+    {
+      std::lock_guard<std::mutex> remote(cp.mu);
+      customer_rmw();
+    }
+    lk.lock();
   }
-  customer_->Put(CustomerKey(c_w, c_d, static_cast<uint32_t>(cr.c_id)),
-                 RowView(cr));
+  if (!cust_ok) return false;
 
   HistoryRow hr{};
   hr.h_c_id = cr.c_id;
@@ -396,57 +516,64 @@ bool TpccDb::Payment() {
   hr.h_date = Now();
   hr.h_amount = amount;
   SetField(hr.h_data, GetField(wr.w_name) + "    " + GetField(dr.d_name));
-  history_->Insert(HistoryKey(w, d, history_seq_++), RowView(hr));
+  home.history->Insert(HistoryKey(w, d, home.history_seq++), RowView(hr));
   return true;
 }
 
-bool TpccDb::OrderStatus() {
-  const uint32_t w = static_cast<uint32_t>(rnd_.Uniform(1, config_.warehouses));
+bool TpccDb::OrderStatus(Session& s) {
+  const uint32_t w = HomeWarehouse(s);
   const uint32_t d = static_cast<uint32_t>(
-      rnd_.Uniform(1, config_.districts_per_warehouse));
+      s.rnd_.Uniform(1, config_.districts_per_warehouse));
+  Partition& home = Part(w);
+  std::lock_guard<std::mutex> lk(home.mu);
+
   CustomerRow cr;
-  if (!PickCustomer(w, d, &cr)) return false;
+  if (!PickCustomer(s, w, d, &cr)) return false;
 
   // Most recent order via the complement-keyed index.
   const std::string prefix =
       OrderCustomerKey(w, d, static_cast<uint32_t>(cr.c_id), ~0u)
           .substr(0, 12);
-  auto it = order_customer_idx_->Seek(prefix);
+  auto it = home.order_customer_idx->Seek(prefix);
   if (!it.Valid() || !HasPrefix(it.key(), prefix)) return false;
   const uint32_t o_id = ~ReadU32(it.key(), 12);
 
   std::string buf;
   OrderRow orow;
-  if (!order_->Get(OrderKey(w, d, o_id), &buf) || !RowFrom(buf, &orow)) {
+  if (!home.order->Get(OrderKey(w, d, o_id), &buf) || !RowFrom(buf, &orow)) {
     return false;
   }
   for (int32_t l = 1; l <= orow.o_ol_cnt; ++l) {
-    order_line_->Get(OrderLineKey(w, d, o_id, static_cast<uint32_t>(l)),
-                     &buf);
+    home.order_line->Get(OrderLineKey(w, d, o_id, static_cast<uint32_t>(l)),
+                         &buf);
   }
   return true;
 }
 
-bool TpccDb::Delivery() {
-  const uint32_t w = static_cast<uint32_t>(rnd_.Uniform(1, config_.warehouses));
-  const int32_t carrier = static_cast<int32_t>(rnd_.Uniform(1, 10));
+bool TpccDb::Delivery(Session& s) {
+  const uint32_t w = HomeWarehouse(s);
+  const int32_t carrier = static_cast<int32_t>(s.rnd_.Uniform(1, 10));
   bool delivered_any = false;
   std::string buf;
+
+  Partition& home = Part(w);
+  std::lock_guard<std::mutex> lk(home.mu);
 
   for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
     // Oldest undelivered order for the district.
     const std::string prefix = NewOrderKey(w, d, 0).substr(0, 8);
-    auto it = new_order_->Seek(prefix);
+    auto it = home.new_order->Seek(prefix);
     if (!it.Valid() || !HasPrefix(it.key(), prefix)) continue;
     const uint32_t o_id = ReadU32(it.key(), 8);
-    new_order_->Delete(NewOrderKey(w, d, o_id));
+    home.new_order->Delete(NewOrderKey(w, d, o_id));
 
     OrderRow orow;
-    if (!order_->Get(OrderKey(w, d, o_id), &buf) || !RowFrom(buf, &orow)) {
+    if (!home.order->Get(OrderKey(w, d, o_id), &buf) ||
+        !RowFrom(buf, &orow)) {
       continue;
     }
     orow.o_carrier_id = carrier;
-    order_->Put(OrderKey(w, d, o_id), RowView(orow));
+    home.order->Put(OrderKey(w, d, o_id), RowView(orow));
 
     double total = 0.0;
     const int64_t now = Now();
@@ -454,34 +581,37 @@ bool TpccDb::Delivery() {
       OrderLineRow ol;
       const std::string key =
           OrderLineKey(w, d, o_id, static_cast<uint32_t>(l));
-      if (!order_line_->Get(key, &buf) || !RowFrom(buf, &ol)) continue;
+      if (!home.order_line->Get(key, &buf) || !RowFrom(buf, &ol)) continue;
       ol.ol_delivery_d = now;
       total += ol.ol_amount;
-      order_line_->Put(key, RowView(ol));
+      home.order_line->Put(key, RowView(ol));
     }
 
     CustomerRow cr;
     const std::string ckey =
         CustomerKey(w, d, static_cast<uint32_t>(orow.o_c_id));
-    if (customer_->Get(ckey, &buf) && RowFrom(buf, &cr)) {
+    if (home.customer->Get(ckey, &buf) && RowFrom(buf, &cr)) {
       cr.c_balance += total;
       cr.c_delivery_cnt += 1;
-      customer_->Put(ckey, RowView(cr));
+      home.customer->Put(ckey, RowView(cr));
     }
     delivered_any = true;
   }
   return delivered_any;
 }
 
-bool TpccDb::StockLevel() {
-  const uint32_t w = static_cast<uint32_t>(rnd_.Uniform(1, config_.warehouses));
+bool TpccDb::StockLevel(Session& s) {
+  const uint32_t w = HomeWarehouse(s);
   const uint32_t d = static_cast<uint32_t>(
-      rnd_.Uniform(1, config_.districts_per_warehouse));
-  const int32_t threshold = static_cast<int32_t>(rnd_.Uniform(10, 20));
+      s.rnd_.Uniform(1, config_.districts_per_warehouse));
+  const int32_t threshold = static_cast<int32_t>(s.rnd_.Uniform(10, 20));
+
+  Partition& home = Part(w);
+  std::lock_guard<std::mutex> lk(home.mu);
 
   std::string buf;
   DistrictRow dr;
-  if (!district_->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
+  if (!home.district->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
     return false;
   }
   const uint32_t next = static_cast<uint32_t>(dr.d_next_o_id);
@@ -491,12 +621,13 @@ bool TpccDb::StockLevel() {
   std::set<int32_t> low;
   const std::string begin = OrderLineKey(w, d, lo, 0);
   const std::string end = OrderLineKey(w, d, next, 0);
-  for (auto it = order_line_->Seek(begin); it.Valid() && it.key() < end;
+  for (auto it = home.order_line->Seek(begin); it.Valid() && it.key() < end;
        it.Next()) {
     OrderLineRow ol;
     if (!RowFrom(it.value(), &ol)) continue;
     StockRow sr;
-    if (stock_->Get(StockKey(w, static_cast<uint32_t>(ol.ol_i_id)), &buf) &&
+    if (home.stock->Get(StockKey(w, static_cast<uint32_t>(ol.ol_i_id)),
+                        &buf) &&
         RowFrom(buf, &sr) && sr.s_quantity < threshold) {
       low.insert(ol.ol_i_id);
     }
@@ -507,44 +638,53 @@ bool TpccDb::StockLevel() {
 // --- Consistency -----------------------------------------------------------
 
 Status TpccDb::CheckConsistency() {
-  for (BTree* t : {warehouse_.get(), district_.get(), customer_.get(),
-                   history_.get(), new_order_.get(), order_.get(),
-                   order_line_.get(), item_.get(), stock_.get(),
-                   customer_name_idx_.get(), order_customer_idx_.get()}) {
-    Status s = t->CheckIntegrity();
+  {
+    Status s = item_->CheckIntegrity();
     if (!s.ok()) return s;
+  }
+  for (const auto& part : parts_) {
+    for (BTree* t :
+         {part->warehouse.get(), part->district.get(), part->customer.get(),
+          part->history.get(), part->new_order.get(), part->order.get(),
+          part->order_line.get(), part->stock.get(),
+          part->customer_name_idx.get(), part->order_customer_idx.get()}) {
+      Status s = t->CheckIntegrity();
+      if (!s.ok()) return s;
+    }
   }
 
   std::string buf;
   for (uint32_t w = 1; w <= config_.warehouses; ++w) {
+    Partition& part = Part(w);
     WarehouseRow wr;
-    if (!warehouse_->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
+    if (!part.warehouse->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
       return Status::Corruption("warehouse row missing");
     }
     double district_ytd = 0.0;
     for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
       DistrictRow dr;
-      if (!district_->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
+      if (!part.district->Get(DistrictKey(w, d), &buf) ||
+          !RowFrom(buf, &dr)) {
         return Status::Corruption("district row missing");
       }
       district_ytd += dr.d_ytd - 30000.0;
 
       // Condition 2: D_NEXT_O_ID - 1 == max order id in district.
       const uint32_t expect_max = static_cast<uint32_t>(dr.d_next_o_id) - 1;
-      if (!order_->Get(OrderKey(w, d, expect_max), &buf)) {
+      if (!part.order->Get(OrderKey(w, d, expect_max), &buf)) {
         return Status::Corruption("max order id != d_next_o_id - 1");
       }
-      if (order_->Get(OrderKey(w, d, expect_max + 1), nullptr)) {
+      if (part.order->Get(OrderKey(w, d, expect_max + 1), nullptr)) {
         return Status::Corruption("order beyond d_next_o_id");
       }
 
       // Condition 4: every NEW_ORDER row has an undelivered order.
       const std::string prefix = NewOrderKey(w, d, 0).substr(0, 8);
-      for (auto it = new_order_->Seek(prefix);
+      for (auto it = part.new_order->Seek(prefix);
            it.Valid() && HasPrefix(it.key(), prefix); it.Next()) {
         const uint32_t o_id = ReadU32(it.key(), 8);
         OrderRow orow;
-        if (!order_->Get(OrderKey(w, d, o_id), &buf) ||
+        if (!part.order->Get(OrderKey(w, d, o_id), &buf) ||
             !RowFrom(buf, &orow)) {
           return Status::Corruption("new_order without order");
         }
@@ -561,16 +701,19 @@ Status TpccDb::CheckConsistency() {
 
   // Condition 3 (sampled over the first warehouse/district to bound
   // cost): every order has exactly o_ol_cnt lines.
+  Partition& p1 = Part(1);
   for (uint32_t o = 1;; ++o) {
     OrderRow orow;
-    if (!order_->Get(OrderKey(1, 1, o), &buf) || !RowFrom(buf, &orow)) break;
+    if (!p1.order->Get(OrderKey(1, 1, o), &buf) || !RowFrom(buf, &orow)) {
+      break;
+    }
     for (int32_t l = 1; l <= orow.o_ol_cnt; ++l) {
-      if (!order_line_->Get(OrderLineKey(1, 1, o, static_cast<uint32_t>(l)),
-                            nullptr)) {
+      if (!p1.order_line->Get(
+              OrderLineKey(1, 1, o, static_cast<uint32_t>(l)), nullptr)) {
         return Status::Corruption("missing order line");
       }
     }
-    if (order_line_->Get(
+    if (p1.order_line->Get(
             OrderLineKey(1, 1, o, static_cast<uint32_t>(orow.o_ol_cnt) + 1),
             nullptr)) {
       return Status::Corruption("extra order line");

@@ -1,9 +1,12 @@
 #ifndef LSS_TPCC_TPCC_DB_H_
 #define LSS_TPCC_TPCC_DB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "btree/btree.h"
 #include "btree/buffer_pool.h"
@@ -32,18 +35,47 @@ struct TpccConfig {
   /// scaled to the database; ~10% of the DB is a comparable ratio).
   size_t buffer_pool_pages = 4096;
   uint64_t seed = 7;
+  /// Worker-thread count the database is laid out for: the
+  /// warehouse-keyed tables are split into min(workers, warehouses)
+  /// partition groups (warehouse w belongs to group (w-1) % groups) and
+  /// each worker gets per-warehouse affinity over its own group. 1 keeps
+  /// the layout and behaviour of the single-threaded engine.
+  uint32_t workers = 1;
+
+  /// Partition-group count a TpccDb built from this config will use —
+  /// the one formula every layer (engine, trace generator) must share.
+  uint32_t PartitionGroups() const {
+    const uint32_t w = warehouses < 1 ? 1 : warehouses;
+    return workers < 1 ? 1 : (workers < w ? workers : w);
+  }
 };
 
 /// A TPC-C database and transaction engine over the B+-tree storage
 /// engine. All five standard transactions are implemented against eleven
 /// trees (nine tables + two secondary indexes). Page-write I/O (buffer
-/// pool write-backs) is recorded into an optional Trace, regenerating the
-/// kind of trace the paper replays through the cleaning simulator (§6.3).
+/// pool write-backs) is recorded through an optional observer — usually
+/// into a Trace — regenerating the kind of trace the paper replays
+/// through the cleaning simulator (§6.3).
 ///
-/// Simplifications (documented): single-threaded, logical timestamps, no
-/// WAL (the trace captures data-page writes only, as the paper's did),
-/// and the 1% intentionally-aborted New-Order transactions perform their
-/// reads but skip their writes (there is no rollback machinery).
+/// Concurrency. With config.workers > 1 the warehouse-keyed tables are
+/// partitioned into worker groups (the ITEM table stays shared: it is
+/// read-only after Populate). Each partition group owns one mutex; a
+/// transaction runs on its home partition's trees under that mutex and
+/// dips into a remote partition (NewOrder's 1% remote stock, Payment's
+/// 15% remote customer) by *releasing* the home latch, taking the remote
+/// one for the row's read-modify-write, and re-acquiring home — at most
+/// one partition latch is ever held, so the scheme cannot deadlock.
+/// Every multi-row TPC-C invariant (W_YTD vs D_YTD, order ids, order
+/// lines, NEW_ORDER references) is intra-warehouse and therefore
+/// intra-partition, and every remote access is a self-contained row RMW
+/// under the owning partition's latch, so consistency holds at any
+/// quiescent point. Worker threads drive transactions through Session
+/// objects (their own RNG stream + home-warehouse set).
+///
+/// Simplifications (documented): logical timestamps, no WAL (the trace
+/// captures data-page writes only, as the paper's did), and the 1%
+/// intentionally-aborted New-Order transactions perform their reads but
+/// skip their writes (there is no rollback machinery).
 class TpccDb {
  public:
   enum class TxnType : int {
@@ -54,37 +86,90 @@ class TpccDb {
     kStockLevel = 4,
   };
 
+  /// Per-worker transaction context: an RNG stream and the worker's home
+  /// partition. Create via MakeSession; drive via the Session-taking
+  /// transaction methods, one thread per session at a time.
+  class Session {
+   public:
+    uint32_t worker() const { return worker_; }
+
+   private:
+    friend class TpccDb;
+    Session(uint64_t seed, uint32_t worker) : rnd_(seed), worker_(worker) {}
+    TpccRandom rnd_;
+    uint32_t worker_ = 0;
+  };
+
   /// `trace` may be null; when set, every data-page write-back is
-  /// appended to it.
+  /// appended to it. This form is single-threaded: a Trace is not
+  /// thread-safe, so use it only with workers == 1 (or drive the db from
+  /// one thread).
   explicit TpccDb(const TpccConfig& config, Trace* trace = nullptr);
+
+  /// Observer form for concurrent runs: `observer` sees every data-page
+  /// write-back and must be thread-safe when transactions run from
+  /// multiple threads (e.g. append to a thread-local trace buffer).
+  TpccDb(const TpccConfig& config, BufferPool::WriteObserver observer);
 
   TpccDb(const TpccDb&) = delete;
   TpccDb& operator=(const TpccDb&) = delete;
 
   /// Loads the initial database per the standard's population rules.
+  /// Equivalent to PopulateItems() + PopulateWorker(0..workers-1); runs
+  /// the worker loop on internal threads when workers > 1 *and* no
+  /// single-Trace observer needs attribution (callers wanting per-thread
+  /// trace buffers drive PopulateWorker from their own threads instead).
   void Populate();
 
+  /// Population, split for caller-owned threading: items first (shared
+  /// table, call once), then each worker's warehouse group (safe to run
+  /// all workers concurrently — each touches only its own partition).
+  void PopulateItems();
+  void PopulateWorker(uint32_t worker);
+
+  /// Number of partition groups (min(config.workers, warehouses)).
+  uint32_t workers() const {
+    return static_cast<uint32_t>(parts_.size());
+  }
+
+  /// A session for `worker` in [0, workers()). Worker 0 with the default
+  /// seed reproduces the single-threaded engine's home-warehouse draws.
+  Session MakeSession(uint32_t worker) const;
+
   /// Runs one transaction drawn from the standard mix
-  /// (45/43/4/4/4 New-Order/Payment/Order-Status/Delivery/Stock-Level).
-  TxnType RunNextTransaction();
+  /// (45/43/4/4/4 New-Order/Payment/Order-Status/Delivery/Stock-Level)
+  /// on `session`'s home partition.
+  TxnType RunNextTransaction(Session& session);
 
   // Individual transactions (public so tests can drive them directly).
   // Each returns true if it committed (New-Order aborts ~1% by spec).
-  bool NewOrder();
-  bool Payment();
-  bool OrderStatus();
-  bool Delivery();
-  bool StockLevel();
+  bool NewOrder(Session& session);
+  bool Payment(Session& session);
+  bool OrderStatus(Session& session);
+  bool Delivery(Session& session);
+  bool StockLevel(Session& session);
 
-  /// Writes back all dirty cached pages (a checkpoint); the trace sees
-  /// them as page writes.
+  // Single-threaded conveniences driving a built-in session 0 (the
+  // pre-refactor API; tests use these).
+  TxnType RunNextTransaction() { return RunNextTransaction(session0_); }
+  bool NewOrder() { return NewOrder(session0_); }
+  bool Payment() { return Payment(session0_); }
+  bool OrderStatus() { return OrderStatus(session0_); }
+  bool Delivery() { return Delivery(session0_); }
+  bool StockLevel() { return StockLevel(session0_); }
+
+  /// Writes back all dirty cached pages (a fuzzy checkpoint); the trace
+  /// sees them as page writes. Safe to call concurrently with running
+  /// transactions: pinned frames are skipped and flushed later.
   void Checkpoint() { pool_.FlushAll(); }
 
   /// Database footprint in pages (grows as the benchmark runs).
   uint64_t PageCount() const { return pager_.PageCount(); }
 
-  /// Transactions executed, by type.
-  uint64_t TxnCount(TxnType t) const { return txn_counts_[static_cast<int>(t)]; }
+  /// Transactions executed, by type (all sessions).
+  uint64_t TxnCount(TxnType t) const {
+    return txn_counts_[static_cast<int>(t)].load(std::memory_order_relaxed);
+  }
 
   const TpccConfig& config() const { return config_; }
   const BufferPool& pool() const { return pool_; }
@@ -94,38 +179,72 @@ class TpccDb {
   ///   2. Per district, D_NEXT_O_ID - 1 = max(O_ID).
   ///   3. Every order has exactly O_OL_CNT order lines.
   ///   4. Every NEW_ORDER row references an existing undelivered order.
-  /// Plus structural integrity of every tree.
+  /// Plus structural integrity of every tree. Call only while no
+  /// transactions are running.
   Status CheckConsistency();
 
  private:
+  // One worker group's share of the warehouse-keyed tables, plus the
+  // latch that serialises every access to them. Cache-line aligned so
+  // neighbouring latches do not false-share.
+  struct alignas(64) Partition {
+    std::mutex mu;
+    std::unique_ptr<BTree> warehouse;
+    std::unique_ptr<BTree> district;
+    std::unique_ptr<BTree> customer;
+    std::unique_ptr<BTree> history;
+    std::unique_ptr<BTree> new_order;
+    std::unique_ptr<BTree> order;
+    std::unique_ptr<BTree> order_line;
+    std::unique_ptr<BTree> stock;
+    // Secondary indexes.
+    std::unique_ptr<BTree> customer_name_idx;
+    std::unique_ptr<BTree> order_customer_idx;
+    uint64_t history_seq = 0;  // under mu
+  };
+
+  void InitPartitions();
+
+  // The partition group warehouse `w` (1-based) belongs to.
+  Partition& Part(uint32_t w) {
+    return *parts_[(w - 1) % parts_.size()];
+  }
+
+  // Worker `worker`'s home-warehouse count and i-th (1-based) warehouse.
+  uint32_t HomeWarehouseCount(uint32_t worker) const {
+    return (config_.warehouses - 1 - worker) /
+               static_cast<uint32_t>(parts_.size()) + 1;
+  }
+  uint32_t HomeWarehouse(Session& s);
+
+  // Populates one warehouse's rows (all tables but ITEM) with its own
+  // deterministic RNG stream, so population parallelises per warehouse.
+  void PopulateWarehouse(uint32_t w);
+
   // Order-Status / Payment customer selection: 60% by last name (middle
   // matching row), 40% by NURand id. Returns false if no such customer.
-  bool PickCustomer(uint32_t w, uint32_t d, CustomerRow* row);
+  // Caller must hold Part(w).mu.
+  bool PickCustomer(Session& s, uint32_t w, uint32_t d, CustomerRow* row);
 
-  int64_t Now() { return static_cast<int64_t>(++clock_); }
+  int64_t Now() {
+    return static_cast<int64_t>(
+        clock_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
 
   TpccConfig config_;
-  TpccRandom rnd_;
+  TpccRandom rnd_;  // population (items); not used by transactions
   Pager pager_;
   BufferPool pool_;
 
-  // Tables.
-  std::unique_ptr<BTree> warehouse_;
-  std::unique_ptr<BTree> district_;
-  std::unique_ptr<BTree> customer_;
-  std::unique_ptr<BTree> history_;
-  std::unique_ptr<BTree> new_order_;
-  std::unique_ptr<BTree> order_;
-  std::unique_ptr<BTree> order_line_;
-  std::unique_ptr<BTree> item_;
-  std::unique_ptr<BTree> stock_;
-  // Secondary indexes.
-  std::unique_ptr<BTree> customer_name_idx_;
-  std::unique_ptr<BTree> order_customer_idx_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::unique_ptr<BTree> item_;  // shared; read-only after Populate
 
-  uint64_t history_seq_ = 0;
-  uint64_t clock_ = 0;
-  uint64_t txn_counts_[5] = {0, 0, 0, 0, 0};
+  Session session0_;
+  /// True when constructed over a single (not thread-safe) Trace;
+  /// Populate then stays on the calling thread.
+  bool single_threaded_observer_ = false;
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> txn_counts_[5] = {};
 };
 
 }  // namespace lss::tpcc

@@ -1,10 +1,38 @@
 #include "tpcc/trace_gen.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 namespace lss::tpcc {
 
-TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
-                                  uint64_t warm_txns, uint64_t measure_txns,
-                                  uint64_t checkpoint_every) {
+namespace {
+
+/// Buffer the current thread's write-backs land in (parallel
+/// generation). Null outside a generation run; the observer then falls
+/// back to the coordinator buffer, which is only correct because every
+/// thread that can trigger a write-back registers itself first.
+thread_local Trace* tls_trace = nullptr;
+
+/// Stable merge: record i of every buffer, buffers in worker order, for
+/// i = 0, 1, ... — a deterministic function of the buffer contents that
+/// approximates the temporal interleaving of threads progressing at
+/// similar rates. Clears the buffers.
+void MergeRoundRobin(std::vector<Trace>* bufs, Trace* out) {
+  size_t longest = 0;
+  for (const Trace& b : *bufs) longest = std::max(longest, b.Size());
+  for (size_t i = 0; i < longest; ++i) {
+    for (const Trace& b : *bufs) {
+      if (i < b.Size()) out->Append(b.records()[i]);
+    }
+  }
+  for (Trace& b : *bufs) b.Clear();
+}
+
+TpccTraceResult GenerateSerial(const TpccConfig& config, uint64_t warm_txns,
+                               uint64_t measure_txns,
+                               uint64_t checkpoint_every) {
   TpccTraceResult result;
   TpccDb db(config, &result.trace);
   db.Populate();
@@ -33,6 +61,106 @@ TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
   db.Checkpoint();
   result.pages_final = db.PageCount();
   result.transactions = warm_txns + measure_txns;
+  return result;
+}
+
+TpccTraceResult GenerateParallel(const TpccConfig& config,
+                                 uint64_t warm_txns, uint64_t measure_txns,
+                                 uint64_t checkpoint_every) {
+  TpccTraceResult result;
+  // One buffer per worker plus one for the coordinator (boundary
+  // checkpoints). A write-back is recorded by whichever thread triggered
+  // the eviction/flush, into that thread's own buffer — the observer
+  // itself needs no lock. The count MUST be the engine's own
+  // partition-group formula: worker t writes bufs[t] for every t the
+  // db will hand out.
+  const uint32_t workers = config.PartitionGroups();
+  std::vector<Trace> bufs(workers + 1);
+  TpccDb db(config, BufferPool::WriteObserver([&bufs, workers](PageNo p) {
+              Trace* t = tls_trace;
+              (t != nullptr ? t : &bufs[workers])->AppendWrite(p);
+            }));
+  result.workers = db.workers();
+
+  std::vector<TpccDb::Session> sessions;
+  sessions.reserve(db.workers());
+  for (uint32_t t = 0; t < db.workers(); ++t) {
+    sessions.push_back(db.MakeSession(t));
+  }
+
+  tls_trace = &bufs[workers];
+
+  // Population: items on the coordinator, each worker's warehouse group
+  // on its own thread.
+  db.PopulateItems();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(db.workers());
+    for (uint32_t t = 0; t < db.workers(); ++t) {
+      threads.emplace_back([&db, &bufs, t] {
+        tls_trace = &bufs[t];
+        db.PopulateWorker(t);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  db.Checkpoint();
+  result.pages_after_load = db.PageCount();
+
+  // Checkpoint cadence is global: the thread whose transaction crosses a
+  // multiple of checkpoint_every runs the (fuzzy, pin-skipping) flush.
+  std::atomic<uint64_t> txn_clock{0};
+  auto run_phase = [&](uint64_t total) {
+    std::vector<std::thread> threads;
+    threads.reserve(db.workers());
+    for (uint32_t t = 0; t < db.workers(); ++t) {
+      threads.emplace_back([&, t] {
+        tls_trace = &bufs[t];
+        const uint64_t begin = total * t / db.workers();
+        const uint64_t end = total * (t + 1) / db.workers();
+        for (uint64_t i = begin; i < end; ++i) {
+          db.RunNextTransaction(sessions[t]);
+          if (checkpoint_every > 0) {
+            const uint64_t n =
+                txn_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (n % checkpoint_every == 0) db.Checkpoint();
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  };
+
+  run_phase(warm_txns);
+  // Phase boundary: all workers have joined, so merging here puts every
+  // populate + warm-up record ahead of measure_from.
+  MergeRoundRobin(&bufs, &result.trace);
+  result.measure_from = result.trace.Size();
+
+  run_phase(measure_txns);
+  db.Checkpoint();
+  MergeRoundRobin(&bufs, &result.trace);
+
+  tls_trace = nullptr;
+  result.pages_final = db.PageCount();
+  result.transactions = warm_txns + measure_txns;
+  return result;
+}
+
+}  // namespace
+
+TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
+                                  uint64_t warm_txns, uint64_t measure_txns,
+                                  uint64_t checkpoint_every) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TpccTraceResult result =
+      (config.workers <= 1 || config.warehouses <= 1)
+          ? GenerateSerial(config, warm_txns, measure_txns, checkpoint_every)
+          : GenerateParallel(config, warm_txns, measure_txns,
+                             checkpoint_every);
+  result.generation_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return result;
 }
 

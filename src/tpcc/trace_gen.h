@@ -8,6 +8,14 @@
 
 namespace lss::tpcc {
 
+/// Version of the trace *generator* (engine layout + collection
+/// pipeline), bumped whenever a change alters the traces it emits —
+/// partitioned tables, merge order, format changes, and so on. Cache
+/// keys (bench/fig6_tpcc.cc's $TMPDIR trace cache) must mix this in so
+/// stale cached traces regenerate instead of silently replaying old
+/// data.
+inline constexpr uint32_t kTpccTraceFormatVersion = 2;
+
 /// Output of a TPC-C trace-collection run (the paper's §6.3 pipeline:
 /// run TPC-C on the B+-tree engine, collect page-write I/O, then replay
 /// through the cleaning simulator).
@@ -24,6 +32,11 @@ struct TpccTraceResult {
   uint64_t pages_final = 0;
   /// Transactions executed in warm-up + measurement.
   uint64_t transactions = 0;
+  /// Worker threads that generated the trace (min(config.workers,
+  /// warehouses)).
+  uint32_t workers = 1;
+  /// Wall-clock seconds spent generating (populate + all transactions).
+  double generation_seconds = 0.0;
 };
 
 /// Populates a TPC-C database and runs `warm_txns + measure_txns`
@@ -32,6 +45,19 @@ struct TpccTraceResult {
 /// pages every that-many transactions (a fuzzy checkpoint), which is how
 /// cold dirty pages reach storage in engines whose cache would otherwise
 /// absorb them. A final checkpoint closes the trace.
+///
+/// config.workers > 1 generates in parallel: population and the
+/// transaction phases fan out over that many threads (per-warehouse
+/// affinity, see TpccDb), each thread records the write-backs *it*
+/// triggers into its own buffer, and the buffers are merged with a
+/// stable round-robin order at each phase boundary (approximating the
+/// temporal interleaving of the streams without cross-thread
+/// synchronisation on the trace itself). Checkpoints are driven off a
+/// global transaction counter so their cadence matches the serial run.
+/// Which thread evicts which page depends on scheduling, so parallel
+/// generation is *not* bit-reproducible run to run — downstream replay
+/// is a pure function of the trace, which is why benches cache the
+/// generated trace on disk.
 TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
                                   uint64_t warm_txns, uint64_t measure_txns,
                                   uint64_t checkpoint_every = 0);

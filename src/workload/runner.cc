@@ -1,9 +1,13 @@
 #include "workload/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <thread>
 
 namespace lss {
@@ -35,6 +39,55 @@ ParallelRunResult FailParallel(Status s, const std::string& variant,
   r.shards = shards;
   return r;
 }
+
+// One shard's replay feed: a bounded FIFO of record batches with a
+// single producer (the router) and a single consumer (the shard's
+// replay thread). Bounded so the router cannot run arbitrarily far
+// ahead of a slow shard (backpressure), batched so the lock is paid
+// once per kBatchRecords rather than once per record.
+class ReplayQueue {
+ public:
+  static constexpr size_t kBatchRecords = 256;
+  static constexpr size_t kMaxBatches = 16;
+
+  struct Batch {
+    // Reset the shard's measurement counters before applying `recs`
+    // (the router injects this exactly at the measure_from boundary).
+    bool reset_before = false;
+    std::vector<TraceRecord> recs;
+  };
+
+  void Push(Batch&& b) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [this] { return q_.size() < kMaxBatches; });
+    q_.push_back(std::move(b));
+    cv_data_.notify_one();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    cv_data_.notify_one();
+  }
+
+  // False once the queue is closed and drained.
+  bool Pop(Batch* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_data_.wait(lk, [this] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    *out = std::move(q_.front());
+    q_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_data_;
+  std::condition_variable cv_space_;
+  std::deque<Batch> q_;
+  bool closed_ = false;
+};
 
 // Runs fn(thread_id) on `threads` workers and returns the first non-OK
 // status. With one thread the call is inlined on the caller's thread, so
@@ -274,6 +327,154 @@ RunResult RunTrace(const StoreConfig& config, Variant variant,
   r.effective_fill = store->CurrentFillFactor();
   FillDeviceMetrics(stats, &r);
   return r;
+}
+
+Status ReplayTraceParallel(ShardedStore* store, const Trace& trace,
+                           size_t measure_from,
+                           double* measure_seconds_out) {
+  const uint32_t shards = store->num_shards();
+  const auto& recs = trace.records();
+  measure_from = std::min(measure_from, recs.size());
+
+  std::vector<ReplayQueue> queues(shards);
+  std::vector<Status> statuses(shards);
+  std::atomic<bool> failed{false};
+
+  // One replay thread per shard: applies its queue's batches in FIFO
+  // order. On a store error it keeps draining (so the router never
+  // blocks on a full queue) but stops applying.
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    workers.emplace_back([&, s] {
+      ReplayQueue::Batch batch;
+      while (queues[s].Pop(&batch)) {
+        if (batch.reset_before) {
+          store->WithShardLocked(
+              s, [](StoreShard& shard) { shard.ResetMeasurement(); });
+        }
+        if (failed.load(std::memory_order_relaxed)) continue;
+        for (const TraceRecord& rec : batch.recs) {
+          Status st;
+          if (rec.op == TraceRecord::Op::kWrite) {
+            st = store->Write(rec.page, rec.bytes);
+          } else {
+            st = store->Delete(rec.page);
+            if (st.code() == Status::Code::kNotFound) st = Status::OK();
+          }
+          if (!st.ok()) {
+            statuses[s] = st;
+            failed.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  // The router: walk the trace in order, stage each record for its
+  // owning shard, flush batches as they fill. Per-shard FIFO + a single
+  // router = per-page order preserved.
+  std::vector<ReplayQueue::Batch> staging(shards);
+  auto flush = [&](uint32_t s) {
+    if (staging[s].recs.empty() && !staging[s].reset_before) return;
+    queues[s].Push(std::move(staging[s]));
+    staging[s] = ReplayQueue::Batch();
+  };
+
+  std::chrono::steady_clock::time_point t0{};
+  bool boundary_reached = false;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (i == measure_from) {
+      // Boundary: everything staged so far precedes the marker, and the
+      // marker reaches every shard even if no further record routes to
+      // it.
+      for (uint32_t s = 0; s < shards; ++s) {
+        flush(s);
+        staging[s].reset_before = true;
+        flush(s);
+      }
+      t0 = std::chrono::steady_clock::now();
+      boundary_reached = true;
+    }
+    if (failed.load(std::memory_order_relaxed)) break;
+    const uint32_t s = PageShard(recs[i].page, shards);
+    staging[s].recs.push_back(recs[i]);
+    if (staging[s].recs.size() >= ReplayQueue::kBatchRecords) flush(s);
+  }
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (measure_from == recs.size()) {
+      // Degenerate boundary at end-of-trace: still deliver the reset.
+      flush(s);
+      staging[s].reset_before = true;
+    }
+    flush(s);
+    queues[s].Close();
+  }
+  if (measure_from == recs.size()) {
+    t0 = std::chrono::steady_clock::now();
+    boundary_reached = true;
+  }
+  for (std::thread& th : workers) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (measure_seconds_out != nullptr) {
+    // 0 when a failure stopped the router before the boundary — never
+    // the garbage a default-constructed t0 would produce.
+    *measure_seconds_out =
+        boundary_reached ? std::chrono::duration<double>(t1 - t0).count()
+                         : 0.0;
+  }
+
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+ParallelRunResult RunTraceParallel(const StoreConfig& config, Variant variant,
+                                   const Trace& trace, size_t measure_from,
+                                   uint32_t shards) {
+  const std::string label = VariantName(variant);
+  if (shards < 1) shards = 1;
+  StoreConfig cfg = config;
+  ApplyVariantConfig(variant, &cfg);
+
+  Status status;
+  auto store = ShardedStore::Create(
+      cfg, shards, [variant] { return MakePolicy(variant); }, &status);
+  if (store == nullptr) return FailParallel(status, label, shards, shards);
+
+  std::vector<double> freqs;
+  if (VariantNeedsOracle(variant)) {
+    freqs = trace.ComputeExactFrequencies(measure_from, trace.Size());
+    store->SetExactFrequencyOracle([freqs = std::move(freqs)](PageId p) {
+      return p < freqs.size() ? freqs[p] : 1.0;
+    });
+  }
+
+  double measure_seconds = 0.0;
+  Status s = ReplayTraceParallel(store.get(), trace, measure_from,
+                                 &measure_seconds);
+  if (!s.ok()) return FailParallel(s, label, shards, shards);
+
+  const StoreStats total = store->AggregatedStats();
+  ParallelRunResult pr;
+  pr.threads = shards;
+  pr.shards = shards;
+  pr.measure_seconds = measure_seconds;
+  pr.updates_per_second =
+      pr.measure_seconds > 0
+          ? static_cast<double>(total.user_updates) / pr.measure_seconds
+          : 0.0;
+  pr.shard_wamp = store->PerShardWriteAmplification();
+  pr.result.status = Status::OK();
+  pr.result.variant = label;
+  pr.result.wamp = total.WriteAmplification();
+  pr.result.mean_clean_emptiness = total.MeanCleanEmptiness();
+  pr.result.measured_updates = total.user_updates;
+  pr.result.effective_fill = store->CurrentFillFactor();
+  FillDeviceMetrics(total, &pr.result);
+  return pr;
 }
 
 }  // namespace lss

@@ -110,6 +110,40 @@ ParallelRunResult RunSyntheticParallel(const StoreConfig& config,
 RunResult RunTrace(const StoreConfig& config, Variant variant,
                    const Trace& trace, size_t measure_from);
 
+/// Parallel trace replay: the trace streams through a ShardedStore with
+/// `shards` shards and one replay thread per shard. A single router
+/// thread walks the trace in order and appends each record to the
+/// owning shard's bounded FIFO queue (batched, with backpressure), so
+/// every shard applies exactly the subsequence of records routed to it,
+/// in trace order — and since a page maps to exactly one shard, per-page
+/// operation order is preserved. A shard's state evolution depends only
+/// on its own op subsequence, so a parallel replay produces bit-for-bit
+/// the per-shard stats and final page states of a serial replay of the
+/// same trace through an equally-sharded store (the determinism test
+/// pins this; with shards == 1 that serial store is RunTrace's).
+///
+/// Measurement parity with RunTrace: the router injects a reset marker
+/// at the measure_from boundary of each shard's queue, so per-shard
+/// counters cover exactly the records with global index >= measure_from.
+/// Timing starts when the router crosses measure_from (warm-up records
+/// still in flight then are bounded by the queue depth) and ends when
+/// the last shard drains, giving the updates_per_second throughput
+/// numbers alongside RunSyntheticParallel's.
+ParallelRunResult RunTraceParallel(const StoreConfig& config, Variant variant,
+                                   const Trace& trace, size_t measure_from,
+                                   uint32_t shards);
+
+/// The replay engine under RunTraceParallel, operating on a
+/// caller-created store (which the caller can then inspect — the
+/// determinism tests compare per-page final state against a serial
+/// replay). Runs router + per-shard replay threads as described above;
+/// `measure_seconds_out` (optional) receives the wall-clock time from
+/// the measure_from boundary to the last shard draining. Returns the
+/// first store error.
+Status ReplayTraceParallel(ShardedStore* store, const Trace& trace,
+                           size_t measure_from,
+                           double* measure_seconds_out = nullptr);
+
 /// Convenience: a StoreConfig scaled so that `user_pages` occupy fill
 /// factor `f` of the device, with trigger/batch/buffer kept at the
 /// bench defaults (segment_bytes/page_bytes from `base`).

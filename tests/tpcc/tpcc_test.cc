@@ -1,5 +1,7 @@
 #include "tpcc/tpcc_db.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "tpcc/keys.h"
@@ -204,6 +206,92 @@ TEST(TpccTraceTest, TraceIsSkewed) {
     if (i < freq.size() * 3 / 10) hot_mass += freq[i];
   }
   EXPECT_GT(hot_mass / total, 0.6);
+}
+
+// --- Multi-worker engine (runs under TSan via check.sh --tsan) ----------
+
+TpccConfig ParallelConfig(uint32_t workers) {
+  TpccConfig c = MiniConfig();
+  c.warehouses = 8;
+  c.workers = workers;
+  c.buffer_pool_pages = 512;
+  return c;
+}
+
+TEST(TpccParallelTest, ParallelWorkloadStaysConsistent) {
+  // 4 workers over 8 warehouses: every TPC-C invariant must hold after a
+  // concurrent mixed workload (remote stock/customer ops cross partition
+  // groups, so the latch-swap path is exercised too).
+  TpccDb db(ParallelConfig(4));
+  db.Populate();  // parallel populate
+  ASSERT_EQ(db.workers(), 4u);
+  ASSERT_TRUE(db.CheckConsistency().ok());
+
+  constexpr int kTxnsPerWorker = 800;
+  std::vector<TpccDb::Session> sessions;
+  for (uint32_t t = 0; t < db.workers(); ++t) {
+    sessions.push_back(db.MakeSession(t));
+  }
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < db.workers(); ++t) {
+    threads.emplace_back([&db, &sessions, t] {
+      for (int i = 0; i < kTxnsPerWorker; ++i) {
+        db.RunNextTransaction(sessions[t]);
+        if (t == 0 && (i % 200) == 199) db.Checkpoint();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  ASSERT_TRUE(db.CheckConsistency().ok());
+  uint64_t total = 0;
+  for (int i = 0; i < 5; ++i) {
+    total += db.TxnCount(static_cast<TpccDb::TxnType>(i));
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(4 * kTxnsPerWorker));
+}
+
+TEST(TpccParallelTest, ParallelTraceGenerationCoversDatabase) {
+  // The parallel pipeline must uphold the serial trace's contract: the
+  // pre-measurement prefix covers every populated page, page ids stay
+  // within the final footprint, and the database grows.
+  TpccConfig cfg = ParallelConfig(4);
+  const TpccTraceResult r = GenerateTpccTrace(cfg, 400, 1200, 100);
+  EXPECT_EQ(r.workers, 4u);
+  EXPECT_GT(r.trace.Size(), 0u);
+  EXPECT_GT(r.measure_from, 0u);
+  EXPECT_LT(r.measure_from, r.trace.Size());
+  EXPECT_GE(r.pages_final, r.pages_after_load);
+  EXPECT_LE(r.trace.MaxPageId(), r.pages_final);
+  std::vector<bool> seen(r.pages_after_load, false);
+  size_t covered = 0;
+  for (size_t i = 0; i < r.measure_from; ++i) {
+    const TraceRecord& rec = r.trace.records()[i];
+    if (rec.page < r.pages_after_load && !seen[rec.page]) {
+      seen[rec.page] = true;
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, r.pages_after_load);
+}
+
+TEST(TpccParallelTest, WorkerClampAndHomeAffinity) {
+  // More workers than warehouses clamps to one partition group per
+  // warehouse; sessions then stay valid for every group.
+  TpccConfig cfg = MiniConfig();
+  cfg.warehouses = 2;
+  cfg.workers = 8;
+  TpccDb db(cfg);
+  EXPECT_EQ(db.workers(), 2u);
+  db.Populate();
+  std::vector<TpccDb::Session> sessions;
+  for (uint32_t t = 0; t < db.workers(); ++t) {
+    sessions.push_back(db.MakeSession(t));
+  }
+  for (uint32_t t = 0; t < db.workers(); ++t) {
+    for (int i = 0; i < 50; ++i) db.RunNextTransaction(sessions[t]);
+  }
+  ASSERT_TRUE(db.CheckConsistency().ok());
 }
 
 }  // namespace

@@ -141,6 +141,138 @@ TEST(RunnerTest, TraceReplayHandlesDeletes) {
   EXPECT_TRUE(r.status.ok()) << r.status.ToString();
 }
 
+// --- Parallel trace replay ------------------------------------------------
+
+// A TPC-C-shaped synthetic trace: a load prefix writing every page once,
+// then a skewed update/delete mix. Returns the measure boundary.
+size_t BuildReplayTrace(uint64_t user_pages, Trace* t) {
+  for (PageId p = 0; p < user_pages; ++p) t->AppendWrite(p);
+  const size_t measure_from = t->Size();
+  Rng rng(1234);
+  for (int i = 0; i < 30000; ++i) {
+    const PageId p = rng.NextBool(0.8)
+                         ? rng.NextBounded(user_pages / 5)  // hot fifth
+                         : rng.NextBounded(user_pages);
+    if (rng.NextBool(0.02)) {
+      t->AppendDelete(p);
+    } else {
+      t->AppendWrite(p);
+    }
+  }
+  return measure_from;
+}
+
+// Serial ordering ground truth: the whole trace applied in order, on the
+// caller's thread, to an equally-sharded store. Each shard's state
+// depends only on the subsequence of records routed to it, so a correct
+// parallel replay must reproduce this store's per-shard stats and
+// per-page final state exactly.
+std::unique_ptr<ShardedStore> SerialShardedReplay(const StoreConfig& base,
+                                                  Variant v, const Trace& t,
+                                                  size_t measure_from,
+                                                  uint32_t shards) {
+  StoreConfig cfg = base;
+  ApplyVariantConfig(v, &cfg);
+  Status st;
+  auto store =
+      ShardedStore::Create(cfg, shards, [v] { return MakePolicy(v); }, &st);
+  EXPECT_NE(store, nullptr) << st.ToString();
+  if (store == nullptr) return nullptr;
+  const auto& recs = t.records();
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (i == measure_from) store->ResetMeasurement();
+    Status s;
+    if (recs[i].op == TraceRecord::Op::kWrite) {
+      s = store->Write(recs[i].page, recs[i].bytes);
+    } else {
+      s = store->Delete(recs[i].page);
+      if (s.code() == Status::Code::kNotFound) s = Status::OK();
+    }
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return store;
+}
+
+TEST(RunnerTest, TraceReplayParallelSingleShardMatchesRunTrace) {
+  // One shard + one queue = the exact op sequence of RunTrace; results
+  // must agree bit for bit.
+  const StoreConfig base = TestConfig();
+  Trace t;
+  const size_t measure_from =
+      BuildReplayTrace(base.UserPagesForFillFactor(0.6), &t);
+  const RunResult serial = RunTrace(base, Variant::kMdc, t, measure_from);
+  ASSERT_TRUE(serial.status.ok()) << serial.status.ToString();
+  const ParallelRunResult par =
+      RunTraceParallel(base, Variant::kMdc, t, measure_from, 1);
+  ASSERT_TRUE(par.result.status.ok()) << par.result.status.ToString();
+  EXPECT_DOUBLE_EQ(par.result.wamp, serial.wamp);
+  EXPECT_DOUBLE_EQ(par.result.mean_clean_emptiness,
+                   serial.mean_clean_emptiness);
+  EXPECT_EQ(par.result.measured_updates, serial.measured_updates);
+  EXPECT_DOUBLE_EQ(par.result.effective_fill, serial.effective_fill);
+}
+
+TEST(RunnerTest, TraceReplayParallelPreservesPerPageOrder) {
+  // The determinism-of-contents check: a 4-shard parallel replay must
+  // leave every page in exactly the state a serial replay through an
+  // equally-sharded store leaves it, and every shard's counters must
+  // match — any intra-shard reordering would desynchronise cleaning and
+  // show up in gc_pages_written / segments_cleaned / final state.
+  const StoreConfig base = TestConfig();
+  const uint32_t shards = 4;
+  const uint64_t user_pages = base.UserPagesForFillFactor(0.6);
+  Trace t;
+  const size_t measure_from = BuildReplayTrace(user_pages, &t);
+
+  auto serial =
+      SerialShardedReplay(base, Variant::kGreedy, t, measure_from, shards);
+  ASSERT_NE(serial, nullptr);
+
+  StoreConfig cfg = base;
+  ApplyVariantConfig(Variant::kGreedy, &cfg);
+  Status st;
+  auto parallel = ShardedStore::Create(
+      cfg, shards, [] { return MakePolicy(Variant::kGreedy); }, &st);
+  ASSERT_NE(parallel, nullptr) << st.ToString();
+  ASSERT_TRUE(ReplayTraceParallel(parallel.get(), t, measure_from).ok());
+
+  for (uint32_t s = 0; s < shards; ++s) {
+    const StoreStats a = serial->shard(s).StatsSnapshot();
+    const StoreStats b = parallel->shard(s).StatsSnapshot();
+    EXPECT_EQ(a.user_updates, b.user_updates) << "shard " << s;
+    EXPECT_EQ(a.user_pages_written, b.user_pages_written) << "shard " << s;
+    EXPECT_EQ(a.gc_pages_written, b.gc_pages_written) << "shard " << s;
+    EXPECT_EQ(a.segments_cleaned, b.segments_cleaned) << "shard " << s;
+    EXPECT_EQ(a.deletes, b.deletes) << "shard " << s;
+    EXPECT_DOUBLE_EQ(a.WriteAmplification(), b.WriteAmplification())
+        << "shard " << s;
+  }
+  // Per-page final versions (presence + size) must agree everywhere.
+  for (PageId p = 0; p < user_pages; ++p) {
+    ASSERT_EQ(serial->Contains(p), parallel->Contains(p)) << "page " << p;
+    ASSERT_EQ(serial->PageSize(p), parallel->PageSize(p)) << "page " << p;
+  }
+  EXPECT_TRUE(parallel->CheckInvariants().ok());
+}
+
+TEST(RunnerTest, TraceReplayParallelHandlesDeletesAndOracle) {
+  const StoreConfig base = TestConfig();
+  Trace t;
+  const size_t measure_from =
+      BuildReplayTrace(base.UserPagesForFillFactor(0.5), &t);
+  t.AppendDelete(999999);  // absent page must not abort the replay
+  const ParallelRunResult r =
+      RunTraceParallel(base, Variant::kMdcOpt, t, measure_from, 4);
+  ASSERT_TRUE(r.result.status.ok()) << r.result.status.ToString();
+  EXPECT_EQ(r.shards, 4u);
+  // The measured suffix holds 30000 mixed records, ~2% deletes; only
+  // writes count as updates.
+  EXPECT_GT(r.result.measured_updates, 28000u);
+  EXPECT_LT(r.result.measured_updates, 30000u);
+  EXPECT_GT(r.result.wamp, 0.0);
+  EXPECT_EQ(r.shard_wamp.size(), 4u);
+}
+
 // Every variant must survive a short skewed run at moderate fill.
 class RunnerVariantTest : public ::testing::TestWithParam<Variant> {};
 
