@@ -182,7 +182,7 @@ void SealPipelinePanel(double fill, const std::string& dir) {
   std::printf("io_backend (c) seal pipeline, F=%.2f: sync vs async seal\n\n",
               fill);
   TablePrinter table({"mode", "Wamp", "kupd/s", "wall s", "dev MB", "fsyncs",
-                      "group fsyncs", "stalls", "ckpts"});
+                      "group fsyncs", "stalls", "ckpts", "rehomed", "plain"});
   for (const Mode& m : modes) {
     StoreConfig cfg = IoConfig("file:" + dir);
     cfg.async_seal = m.async;
@@ -211,6 +211,8 @@ void SealPipelinePanel(double fill, const std::string& dir) {
     row.emplace_back(static_cast<int>(r.group_fsyncs));
     row.emplace_back(static_cast<int>(r.seal_queue_stalls));
     row.emplace_back(static_cast<int>(r.checkpoints_written));
+    row.emplace_back(static_cast<int>(r.withheld_slot_reuses_rehomed));
+    row.emplace_back(static_cast<int>(r.withheld_slot_reuses_plain));
     table.AddRow(std::move(row));
 
     bench::JsonRow json("io_backend_seal_pipeline");
@@ -224,7 +226,9 @@ void SealPipelinePanel(double fill, const std::string& dir) {
         .Num("device_fsyncs", r.device_fsyncs)
         .Num("group_fsyncs", r.group_fsyncs)
         .Num("seal_queue_stalls", r.seal_queue_stalls)
-        .Num("checkpoints_written", r.checkpoints_written);
+        .Num("checkpoints_written", r.checkpoints_written)
+        .Num("withheld_slot_reuses_rehomed", r.withheld_slot_reuses_rehomed)
+        .Num("withheld_slot_reuses_plain", r.withheld_slot_reuses_plain);
     bench::Emit(json);
   }
   table.Print(stdout);

@@ -21,7 +21,13 @@
 #   --torture: normal build, then the crash-recovery torture harness
 #             (tests/integration/crash_recovery_test.cc) with extra
 #             randomized kill points per geometry (LSS_TORTURE_ITERS,
-#             default 600 here vs 200 in the tier-1 run).
+#             default 600 here vs 200 in the tier-1 run). Every
+#             geometry audits strict zero-loss — there is no tolerated
+#             residual window — and the diverting geometries fail
+#             unless withheld-slot reuse goes through entry re-homing
+#             (withheld_slot_reuses_rehomed; a plain reuse of a slot
+#             with still-needed entries cannot happen by construction
+#             and any loss it would cause fails the audit).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

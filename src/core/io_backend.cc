@@ -80,6 +80,9 @@ Status FileBackend::SealSegment(const BackendSegmentRecord&) {
 Status FileBackend::Checkpoint(const BackendSegmentRecord&) {
   return Status::InvalidArgument("file backend not open");
 }
+Status FileBackend::RehomeEntries(const BackendSegmentRecord&) {
+  return Status::InvalidArgument("file backend not open");
+}
 Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord&, bool) {
   return Status::InvalidArgument("file backend not open");
 }
@@ -129,15 +132,24 @@ enum MetaType : uint16_t {
   kMetaDelete = 3,
   kMetaGeometry = 4,
   kMetaCheckpoint = 5,  // open-segment snapshot; SealBody layout
+  kMetaRehome = 6,      // re-homed victim entries; SealBody layout
 };
 
 // Metadata-log format version, recorded in the geometry record.
 //   0  PR 3: seal / free / delete records only.
 //   1  adds kMetaCheckpoint (same body layout as a seal record).
-// A version-0 log contains no checkpoint records, so the current reader
-// accepts both (io_backend_test pins that compatibility).
+//   2  adds kMetaRehome (same body layout; segment_id names the victim
+//      slot, no payload accompanies the record).
+// An older log simply lacks the newer record types, so the current
+// reader accepts all three (io_backend_test pins that compatibility).
+// The geometry record is written once at create time and never
+// rewritten, so a new writer appending to an old log leaves the old
+// stamp in place — a crash mid-upgrade yields a version-1-stamped log
+// containing re-homing records, which the reader therefore parses
+// regardless of the stamped format.
 constexpr uint32_t kMetaFormatPr3 = 0;
 constexpr uint32_t kMetaFormatCheckpoint = 1;
+constexpr uint32_t kMetaFormatRehome = 2;
 
 struct MetaHeader {
   uint32_t magic;
@@ -380,7 +392,7 @@ Status FileBackend::Open(const StoreConfig& config, uint32_t shard_id,
     // First record: the geometry fingerprint recovery validates against.
     GeometryBody body{shard_id_,           num_shards_,
                       config_.num_segments, config_.segment_bytes,
-                      config_.page_bytes,   kMetaFormatCheckpoint};
+                      config_.page_bytes,   kMetaFormatRehome};
     const std::vector<uint8_t> rec =
         BuildRecord(kMetaGeometry, &body, sizeof(body));
     Status s = AppendMeta(rec.data(), rec.size());
@@ -488,6 +500,65 @@ Status FileBackend::SealSegment(const BackendSegmentRecord& record) {
 // reseal-while-GC-open crash window (see StoreShard::reclaim_queue_).
 Status FileBackend::Checkpoint(const BackendSegmentRecord& record) {
   return WriteSegmentRecord(record, /*checkpoint=*/true);
+}
+
+// A re-homing record carries the still-needed entries of a withheld
+// victim slot (`record.id`) and NO payload — those entries' payloads are
+// pattern-reconstructible, and the victim slot's own payload is about to
+// be overwritten by its new occupant. The record must be DURABLE before
+// the shard reuses the slot, even in group-commit mode: a crashing
+// rewrite of the slot may tear the victim's payload while a batch-end
+// Sync never arrives, and replay would otherwise still resolve the
+// victim's pages to its stale (now torn) seal record. Hence the forced
+// SyncBoth here — which also makes every earlier append (the records
+// superseding the entries NOT re-homed, and the stage-1 free records)
+// durable, completing the re-homing invariant in one barrier. With
+// backend_fsync off no crash promises exist and SyncBoth is a no-op.
+Status FileBackend::RehomeEntries(const BackendSegmentRecord& record) {
+  if (meta_fd_ < 0) return Status::InvalidArgument("backend not open");
+  if (record.id >= config_.num_segments) {
+    return Status::InvalidArgument("rehome: segment id out of range");
+  }
+  // Stage-1 drain: queued free records (including, typically, the
+  // victim's own) land before the re-homing record, matching emission
+  // order = log order.
+  Status s = DrainReclaims(/*punching_allowed=*/false);
+  if (!s.ok()) return s;
+
+  std::vector<uint8_t> meta_body(sizeof(SealBody) +
+                                 record.entries.size() * sizeof(EntryRec));
+  SealBody body{};
+  body.segment_id = record.id;
+  body.log = record.log;
+  body.source = static_cast<uint64_t>(record.source);
+  body.open_time = record.open_time;
+  body.seal_time = record.seal_time;
+  body.unow = record.unow;
+  body.entry_count = record.entries.size();
+  std::memcpy(meta_body.data(), &body, sizeof(body));
+  uint8_t* p = meta_body.data() + sizeof(body);
+  for (const Segment::Entry& e : record.entries) {
+    EntryRec er{};
+    er.page = e.page;
+    er.bytes = e.bytes;
+    er.seq = e.seq;
+    er.last_update = e.last_update;
+    er.up2 = e.up2;
+    er.exact_upf = e.exact_upf;
+    std::memcpy(p, &er, sizeof(er));
+    p += sizeof(er);
+  }
+  const std::vector<uint8_t> rec =
+      BuildRecord(kMetaRehome, meta_body.data(), meta_body.size());
+  s = AppendMeta(rec.data(), rec.size());
+  if (!s.ok()) return s;
+  // Durability barrier, deliberately ignoring deferred_sync_.
+  s = SyncBoth();
+  if (!s.ok()) return s;
+  for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.record_appended) pr.record_durable = true;
+  }
+  return DrainReclaims(/*punching_allowed=*/true);
 }
 
 Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord& record,
@@ -696,10 +767,14 @@ Status FileBackend::Scan(BackendRecovery* out) {
           std::to_string(gb.num_segments) + " segments of " +
           std::to_string(gb.segment_bytes) + " bytes)");
     }
-    // PR 3 logs (format 0, no checkpoint records) replay unchanged; a
-    // format newer than this reader could hold records we would
-    // misparse as a torn tail and silently truncate.
-    if (gb.format != kMetaFormatPr3 && gb.format != kMetaFormatCheckpoint) {
+    // Older logs (format 0/1) simply lack the newer record types and
+    // replay unchanged; a format newer than this reader could hold
+    // records we would misparse as a torn tail and silently truncate.
+    // Note the stamp is a lower bound only: a new writer appending to a
+    // reopened old log never rewrites the geometry record, so the
+    // replay below parses every known record type regardless of stamp.
+    if (gb.format != kMetaFormatPr3 && gb.format != kMetaFormatCheckpoint &&
+        gb.format != kMetaFormatRehome) {
       return Status::Corruption(
           "recovery: metadata log format " + std::to_string(gb.format) +
           " is newer than this build supports");
@@ -715,6 +790,10 @@ Status FileBackend::Scan(BackendRecovery* out) {
   std::vector<BackendSegmentRecord> seals;
   size_t off = 0;
   uint64_t valid_end = 0;
+  // Replay position of each record; recovery breaks equal-seq ties
+  // between page versions toward the later record (see
+  // BackendSegmentRecord::ordinal).
+  uint64_t ordinal = 0;
   while (off + sizeof(MetaHeader) <= log.size()) {
     MetaHeader hdr;
     std::memcpy(&hdr, log.data() + off, sizeof(hdr));
@@ -726,7 +805,8 @@ Status FileBackend::Scan(BackendRecovery* out) {
     // Torn-write detection: unordered page writeback can persist a valid
     // header whose body tail never reached the device.
     if (hdr.checksum != RecordChecksum(hdr.type, body, hdr.body_len)) break;
-    if (hdr.type == kMetaSeal || hdr.type == kMetaCheckpoint) {
+    if (hdr.type == kMetaSeal || hdr.type == kMetaCheckpoint ||
+        hdr.type == kMetaRehome) {
       if (hdr.body_len < sizeof(SealBody)) break;
       SealBody sb;
       std::memcpy(&sb, body, sizeof(sb));
@@ -743,6 +823,7 @@ Status FileBackend::Scan(BackendRecovery* out) {
       rec.seal_time = sb.seal_time;
       rec.unow = sb.unow;
       rec.checkpoint = hdr.type == kMetaCheckpoint;
+      rec.ordinal = ordinal;
       rec.entries.reserve(sb.entry_count);
       const uint8_t* ep = body + sizeof(sb);
       for (uint64_t i = 0; i < sb.entry_count; ++i) {
@@ -759,8 +840,17 @@ Status FileBackend::Scan(BackendRecovery* out) {
         rec.entries.push_back(e);
       }
       out->unow = std::max(out->unow, sb.unow);
-      latest_seal[sb.segment_id] = static_cast<int64_t>(seals.size());
-      seals.push_back(std::move(rec));
+      if (hdr.type == kMetaRehome) {
+        // Every re-homing record is kept, in replay order: records for
+        // the same slot name different victim incarnations, and a free
+        // record for the slot must not clear them (the victim's free
+        // record lands alongside its re-homing record by design).
+        // Recovery resolves the entries per page, newest-wins.
+        out->rehomed.push_back(std::move(rec));
+      } else {
+        latest_seal[sb.segment_id] = static_cast<int64_t>(seals.size());
+        seals.push_back(std::move(rec));
+      }
     } else if (hdr.type == kMetaFree) {
       if (hdr.body_len != sizeof(FreeBody)) break;
       FreeBody fb;
@@ -782,6 +872,7 @@ Status FileBackend::Scan(BackendRecovery* out) {
     }
     off += sizeof(hdr) + hdr.body_len;
     valid_end = off;
+    ++ordinal;
   }
 
   for (SegmentId id = 0; id < config_.num_segments; ++id) {

@@ -39,6 +39,14 @@ struct BackendSegmentRecord {
   /// segment as sealed with the snapshot's entry prefix; a later real
   /// seal or free record for the same slot supersedes the checkpoint.
   bool checkpoint = false;
+  /// Position of the record in the metadata log, assigned by Scan in
+  /// replay order. Recovery breaks equal-seq ties between a page's
+  /// surviving versions toward the later record, so a re-homing record
+  /// beats the victim slot's original seal (whose payload region may be
+  /// torn by the new occupant's crashing write) and a post-recovery
+  /// reseal of a materialised slot beats the re-homing record that
+  /// seeded it.
+  uint64_t ordinal = 0;
   std::vector<Segment::Entry> entries;
 };
 
@@ -47,6 +55,12 @@ struct BackendSegmentRecord {
 /// delete tombstones, and the high-water marks of the shard clocks.
 struct BackendRecovery {
   std::vector<BackendSegmentRecord> segments;
+  /// Re-homing records (SegmentBackend::RehomeEntries): still-needed
+  /// entries of a withheld victim slot, persisted before that slot was
+  /// reused. `id` names the victim; the entries have no payload of
+  /// their own (pattern-reconstructible) and no surviving slot —
+  /// recovery materialises the winners into fresh segments.
+  std::vector<BackendSegmentRecord> rehomed;
   /// (page, seq) delete tombstones; a tombstone newer than every surviving
   /// entry of a page means the page is absent.
   std::vector<std::pair<PageId, uint64_t>> deletes;
@@ -97,6 +111,18 @@ class SegmentBackend {
   /// at most the appends since the last checkpoint instead of the whole
   /// open segment. Backends that persist nothing accept and ignore it.
   virtual Status Checkpoint(const BackendSegmentRecord& record) {
+    (void)record;
+    return Status::OK();
+  }
+
+  /// Persists a re-homing record: the still-needed entries of a
+  /// withheld victim slot (`record.id`), written — and made durable,
+  /// even in deferred-sync mode — BEFORE the shard reuses that slot, so
+  /// a crash after the reuse overwrites the victim's payload can still
+  /// recover the entries from the record (payloads are pattern-
+  /// reconstructible). No payload is written. Backends that persist
+  /// nothing accept and ignore it.
+  virtual Status RehomeEntries(const BackendSegmentRecord& record) {
     (void)record;
     return Status::OK();
   }
@@ -223,6 +249,7 @@ class FileBackend : public SegmentBackend {
               uint32_t num_shards, StoreStats* stats, bool recover) override;
   Status SealSegment(const BackendSegmentRecord& record) override;
   Status Checkpoint(const BackendSegmentRecord& record) override;
+  Status RehomeEntries(const BackendSegmentRecord& record) override;
   Status Sync() override;
   void SetDeferredSync(bool on) override { deferred_sync_ = on; }
   void Abandon() override;
@@ -316,10 +343,11 @@ class FaultInjectionBackend : public SegmentBackend {
   int64_t deletes() const { return deletes_; }
   int64_t checkpoints() const { return checkpoints_; }
   int64_t syncs() const { return syncs_; }
+  int64_t rehomes() const { return rehomes_; }
 
   /// Simulated power loss: the next `ops` mutating operations (seals,
-  /// checkpoints, reclaims, deletes, syncs) are forwarded normally, then
-  /// the one after that "kills the process" mid-operation — when the
+  /// checkpoints, re-homes, reclaims, deletes, syncs) are forwarded
+  /// normally, then the one after that "kills the process" — when the
   /// base is a file backend its durable files are torn the way an
   /// interrupted writeback would leave them (a truncated or checksum-
   /// corrupt metadata record at the log tail and, for a seal or
@@ -351,6 +379,15 @@ class FaultInjectionBackend : public SegmentBackend {
     if (Status s; !CrashGate(&s, &record)) return s;
     ++checkpoints_;
     return base_->Checkpoint(record);
+  }
+  Status RehomeEntries(const BackendSegmentRecord& record) override {
+    // No payload accompanies a re-homing record, so a crash here tears
+    // only the metadata tail — never the victim slot's payload (passing
+    // `record` to the gate would wrongly overwrite the victim with a
+    // payload this record does not have).
+    if (Status s; !CrashGate(&s, nullptr)) return s;
+    ++rehomes_;
+    return base_->RehomeEntries(record);
   }
   Status Sync() override {
     if (Status s; !CrashGate(&s, nullptr)) return s;
@@ -412,6 +449,7 @@ class FaultInjectionBackend : public SegmentBackend {
   int64_t deletes_ = 0;
   int64_t checkpoints_ = 0;
   int64_t syncs_ = 0;
+  int64_t rehomes_ = 0;
   int64_t fail_seal_after_ = -1;
   int64_t fail_reclaim_after_ = -1;
   int64_t fail_delete_after_ = -1;

@@ -129,6 +129,11 @@ void SealPipeline::ThreadMain() {
           case Op::Kind::kDelete:
             s = backend_->RecordDelete(op.page, op.seq, op.unow);
             break;
+          case Op::Kind::kRehome:
+            // The backend syncs internally: the record is durable before
+            // the next op in the batch (the reused slot's seal) runs.
+            s = backend_->RehomeEntries(op.record);
+            break;
         }
         if (!s.ok()) break;
       }

@@ -76,12 +76,27 @@ class StoreStats {
   uint64_t group_fsync_ops = 0;
   /// Open-segment checkpoint records persisted (async or periodic).
   uint64_t checkpoints_written = 0;
-  /// Times AllocateSegment fell through to plain reuse of a slot whose
-  /// free record is still withheld — the residual PR 3 crash window,
-  /// reachable only when a policy keeps more GC destinations open than
-  /// there are spare free slots (multi-log at tiny free pools). The
-  /// torture harness's multi-log geometry asserts this fires.
-  uint64_t withheld_slot_reuses = 0;
+  /// Times AllocateSegment reused a slot whose free record is still
+  /// withheld after first re-homing the victim's still-needed entries
+  /// under a durable re-homing record (reachable only when a policy
+  /// keeps more GC destinations open than there are spare free slots —
+  /// multi-log at tiny free pools). The torture harness's multi-log
+  /// geometry asserts this fires; each such reuse is crash-safe.
+  uint64_t withheld_slot_reuses_rehomed = 0;
+  /// Times AllocateSegment reused a withheld slot whose victim had no
+  /// still-needed entries (all superseded by already-emitted records),
+  /// so no re-homing record was required. Plain reuse of a slot that
+  /// still holds needed entries is impossible by construction.
+  uint64_t withheld_slot_reuses_plain = 0;
+  /// Victim entries persisted into re-homing records before slot reuse.
+  uint64_t rehome_entries_written = 0;
+  /// Re-homed entries materialised into fresh segments during Recover.
+  uint64_t rehome_entries_recovered = 0;
+
+  /// Total withheld-slot reuses (re-homed + plain).
+  uint64_t WithheldSlotReuses() const {
+    return withheld_slot_reuses_rehomed + withheld_slot_reuses_plain;
+  }
 
   /// Write amplification (Equation 2), measured: moved pages per physical
   /// user page write.
@@ -140,7 +155,10 @@ class StoreStats {
     group_fsyncs += other.group_fsyncs;
     group_fsync_ops += other.group_fsync_ops;
     checkpoints_written += other.checkpoints_written;
-    withheld_slot_reuses += other.withheld_slot_reuses;
+    withheld_slot_reuses_rehomed += other.withheld_slot_reuses_rehomed;
+    withheld_slot_reuses_plain += other.withheld_slot_reuses_plain;
+    rehome_entries_written += other.rehome_entries_written;
+    rehome_entries_recovered += other.rehome_entries_recovered;
     clean_emptiness_.Merge(other.clean_emptiness_);
   }
 
@@ -167,7 +185,10 @@ class StoreStats {
     group_fsyncs = 0;
     group_fsync_ops = 0;
     checkpoints_written = 0;
-    withheld_slot_reuses = 0;
+    withheld_slot_reuses_rehomed = 0;
+    withheld_slot_reuses_plain = 0;
+    rehome_entries_written = 0;
+    rehome_entries_recovered = 0;
     clean_emptiness_.Reset();
   }
 

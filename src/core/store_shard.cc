@@ -658,23 +658,54 @@ SegmentId StoreShard::AllocateSegment(uint32_t log) {
     SegmentId id = kInvalidSegment;
     if (pick_non_withheld(&id)) return id;
     // Only withheld slots remain. A safe release round (checkpoint the
-    // opens, emit the frees whose victims have no unplaced pages or
-    // unrecorded successors) usually clears some — it is unplaced-aware,
-    // so it is valid mid-clean too. If nothing clears, fall through to
-    // plain reuse: the residual PR 3 window, reachable only by policies
-    // that keep more GC destinations open at once than there are spare
-    // free slots.
+    // opens, emit the frees whose victims have no still-needed entries)
+    // usually clears some — it is valid mid-clean too. If nothing
+    // clears, fall through to reusing a withheld slot, made crash-safe
+    // below by re-homing.
     Status s = ReleaseSafeReclaims();
     if (!s.ok()) {
       sticky_error_ = s;
       return kInvalidSegment;
     }
     if (pick_non_withheld(&id)) return id;
-    // Every remaining free slot is a withheld victim: the reuse below
-    // re-opens the residual window. Counted so geometry tests (the
-    // torture harness's multi-log tiny-pool run) can prove this path is
-    // actually reached.
-    ++stats_.withheld_slot_reuses;
+    // Every remaining free slot is a withheld victim; the common pick
+    // below reuses one. The reuse will eventually overwrite the
+    // victim's payload (a crashing rewrite can tear it), so any victim
+    // entry that replay could still need must first reach the device
+    // under another record. Entries whose current version already sits
+    // in an emitted record are settled permanently (an emitted
+    // superseding record stays in the log even if the page is later
+    // rewritten into the buffer) and are pruned; the remainder — if
+    // any — is persisted under a re-homing record, made durable before
+    // this call returns, which recovery resolves newest-record-wins and
+    // re-materialises when it still holds a page's latest version.
+    // Plain reuse of a slot holding needed entries is thereby
+    // impossible by construction.
+    const SegmentId reuse = free_list_.back();
+    std::vector<Segment::Entry> still_needed;
+    for (QueuedReclaim& qr : reclaim_queue_) {
+      if (qr.id != reuse) continue;
+      for (const Segment::Entry& e : qr.needed) {
+        if (!SuccessorEmitted(e.page)) still_needed.push_back(e);
+      }
+      // The re-homing record (or the emitted successors) now protects
+      // every entry; the free record can release at the next safe
+      // point. The victim stays queued so the forced-free path orders
+      // its free record ahead of the slot's new seal.
+      qr.needed.clear();
+      break;
+    }
+    if (still_needed.empty()) {
+      ++stats_.withheld_slot_reuses_plain;
+    } else {
+      stats_.rehome_entries_written += still_needed.size();
+      Status rs = EmitRehome(reuse, std::move(still_needed));
+      if (!rs.ok()) {
+        sticky_error_ = rs;
+        return kInvalidSegment;
+      }
+      ++stats_.withheld_slot_reuses_rehomed;
+    }
   }
   const SegmentId id = free_list_.back();
   free_list_.pop_back();
@@ -691,25 +722,33 @@ uint64_t StoreShard::HarvestVictims(const std::vector<SegmentId>& victims,
     ++stats_.segments_cleaned;
     reclaimed += seg.available_bytes();
     const double seg_up2 = seg.up2();
-    std::vector<PageId> pending;
+    // Capture, before the Reset below, every entry the victim's durable
+    // seal record still lists live that a recovery might need — the
+    // slot's free record (and any reuse of the slot) must wait for them:
+    //   - live entries: harvested now but not yet placed; until the
+    //     copy lands the victim's record is the only durable home;
+    //   - in-place-killed entries (recorded live under their original
+    //     identity, see MakeSealRecord) whose superseding version is
+    //     not yet recorded (write buffer / mid-placement).
+    // The captured values mirror the seal record exactly: Kill leaves
+    // every field but `page`/`doa` untouched, so page = orig_page
+    // reproduces what MakeSealRecord serialised.
+    std::vector<Segment::Entry> needed;
     for (const Segment::Entry& e : seg.entries()) {
       if (e.page == kInvalidPage) {
-        // The victim's durable record may still list this entry live
-        // (resurrectable); its free record must not erase it before the
-        // successor version is recorded. Note successors that are not
-        // yet (write buffer / mid-placement) — the free record waits for
-        // them in checkpoint mode (ReleaseSafeReclaims).
         if (CheckpointingEnabled() && !e.doa &&
             e.orig_page != kInvalidPage && !SuccessorRecorded(e.orig_page)) {
-          pending.push_back(e.orig_page);
+          Segment::Entry n = e;
+          n.page = e.orig_page;
+          needed.push_back(n);
         }
         continue;
       }
+      if (CheckpointingEnabled()) needed.push_back(e);
       MovedPage mp;
       mp.page = e.page;
       mp.bytes = e.bytes;
       mp.up2 = seg_up2;
-      mp.from = id;
       mp.exact_upf = oracle_ ? oracle_(e.page) : 0.0;
       if (oracle_) {
         mp.est_upf = mp.exact_upf;
@@ -720,17 +759,12 @@ uint64_t StoreShard::HarvestVictims(const std::vector<SegmentId>& victims,
       }
       moved->push_back(mp);
     }
-    uint32_t harvested_live = 0;
-    for (const Segment::Entry& e : seg.entries()) {
-      if (e.page != kInvalidPage) ++harvested_live;
-    }
     seg.Reset();
     free_list_.push_back(id);
     // The backend is told later (ReleaseReclaims): a durable free record
     // now would let a crash erase this victim's entries while its moved
     // pages are still in unsealed destinations.
-    reclaim_queue_.push_back(
-        QueuedReclaim{id, unow_, std::move(pending), harvested_live});
+    reclaim_queue_.push_back(QueuedReclaim{id, unow_, std::move(needed)});
   }
   return reclaimed;
 }
@@ -753,15 +787,57 @@ bool StoreShard::SuccessorRecorded(PageId page) const {
   return s.entries()[m.loc.index].page == page;
 }
 
+bool StoreShard::SuccessorEmitted(PageId page) const {
+  // As SuccessorRecorded, but a version sitting in a merely-open
+  // segment does not count: nothing has been emitted for it yet (the
+  // caller must sequence a checkpoint round itself if it wants open
+  // segments covered). Note this can never match the victim's own entry
+  // a caller is testing — the victim was Reset at harvest, so a table
+  // location still pointing there is dangling, not a match.
+  if (!table_.Present(page)) return true;
+  const PageMeta& m = table_.Get(page);
+  if (m.loc.InBuffer()) return false;
+  if (m.loc.segment >= segments_.size()) return false;
+  const Segment& s = segments_[m.loc.segment];
+  if (s.state() != SegmentState::kSealed) return false;
+  if (m.loc.index >= s.entries().size()) return false;
+  return s.entries()[m.loc.index].page == page;
+}
+
+Status StoreShard::EmitRehome(SegmentId victim,
+                              std::vector<Segment::Entry> entries) {
+  ++ops_since_checkpoint_;
+  BackendSegmentRecord rec;
+  rec.id = victim;
+  rec.log = 0;
+  rec.source = SegmentSource::kGc;
+  rec.open_time = unow_;
+  rec.seal_time = unow_;
+  rec.unow = unow_;
+  rec.entries = std::move(entries);
+  if (pipeline_ == nullptr) return backend_->RehomeEntries(rec);
+  SealPipeline::Op op;
+  op.kind = SealPipeline::Op::Kind::kRehome;
+  op.record = std::move(rec);
+  uint64_t ticket = 0;
+  Status s = EnqueueOp(std::move(op), &ticket);
+  if (!s.ok()) return s;
+  // Queue order already puts the rehome ahead of the reused slot's
+  // future seal, and the backend syncs the record internally; waiting
+  // here only surfaces a backend failure now, before the shard commits
+  // to the reuse.
+  return pipeline_->WaitApplied(ticket);
+}
+
 Status StoreShard::ReleaseSafeReclaims() {
   if (reclaim_queue_.empty()) return Status::OK();
   auto releasable = [this](const QueuedReclaim& qr) {
-    // Harvested-but-unplaced pages have no copy outside the victim's
-    // old record; dead entries' successors must be recorded (or be
-    // coverable by the checkpoint round below).
-    if (qr.unplaced > 0) return false;
-    for (PageId p : qr.pending) {
-      if (!SuccessorRecorded(p)) return false;
+    // Every needed entry's current version must be recorded — or be
+    // coverable by the checkpoint round below. Harvested-but-unplaced
+    // pages fail this automatically: their table location dangles at
+    // the Reset victim until the copy is placed.
+    for (const Segment::Entry& e : qr.needed) {
+      if (!SuccessorRecorded(e.page)) return false;
     }
     return true;
   };
@@ -787,7 +863,7 @@ Status StoreShard::ReleaseSafeReclaims() {
       if (!s.ok()) return s;
     } else {
       // Guard against self-move: moving an element onto itself would
-      // leave its pending list in a moved-from (empty) state and let a
+      // leave its needed list in a moved-from (empty) state and let a
       // later round release it prematurely.
       if (kept != i) reclaim_queue_[kept] = std::move(qr);
       ++kept;
@@ -870,14 +946,9 @@ Status StoreShard::Clean(uint32_t triggering_log) {
       Status s = PlacePage(mp.page, mp.bytes, mp.up2, mp.exact_upf,
                            mp.est_upf, /*is_gc=*/true);
       if (s.ok()) {
-        // The copy is placed (and recordable); one fewer page keeps the
-        // source victim's free record withheld.
-        for (QueuedReclaim& qr : reclaim_queue_) {
-          if (qr.id == moved[i].from && qr.unplaced > 0) {
-            --qr.unplaced;
-            break;
-          }
-        }
+        // The copy is placed: the page's table location now points at
+        // the destination, so the source victim's needed entry for it
+        // reads as recorded (SuccessorRecorded) from here on.
         ++i;
         continue;
       }
@@ -934,12 +1005,20 @@ Status StoreShard::Recover() {
   // Location of one recovered entry, for newest-wins resolution below.
   struct Placed {
     PageId page;
-    SegmentId segment;
+    SegmentId segment;  // kInvalidSegment for a re-homed entry
     uint32_t index;
     uint64_t seq;
     uint32_t bytes;
     UpdateCount last_update;
+    double up2;
     double exact_upf;
+    /// Log position of the containing record, breaking equal-seq ties:
+    /// a re-homing record must beat the victim slot's original seal
+    /// (whose payload may be torn by the reusing occupant's crashing
+    /// write), and a materialised slot's own later seal must beat the
+    /// re-homing record that seeded it.
+    uint64_t ordinal;
+    bool rehomed;
   };
   std::vector<Placed> placed;
 
@@ -971,13 +1050,33 @@ Status StoreShard::Recover() {
                      e.last_update);
       placed.push_back(
           Placed{e.page, rec.id, idx, e.seq, e.bytes, e.last_update,
-                 e.exact_upf});
+                 e.up2, e.exact_upf, rec.ordinal, false});
     }
     seg.Seal(rec.seal_time);
     is_sealed[rec.id] = 1;
   }
 
-  // Newest version wins, by append sequence; a newer delete tombstone
+  // Re-homed entries compete on equal footing: they name page versions
+  // whose only durable copy may be the re-homing record (the victim
+  // slot that held them was reused, and a crashing rewrite may have
+  // torn its payload).
+  for (const BackendSegmentRecord& rec : log.rehomed) {
+    for (const Segment::Entry& e : rec.entries) {
+      if (e.page == kInvalidPage) continue;
+      if (!OwnsPage(e.page)) {
+        return Status::Corruption(
+            "recovery: re-homing record holds a page this shard does "
+            "not own (was the store created with a different shard "
+            "count?)");
+      }
+      placed.push_back(
+          Placed{e.page, kInvalidSegment, 0, e.seq, e.bytes, e.last_update,
+                 e.up2, e.exact_upf, rec.ordinal, true});
+    }
+  }
+
+  // Newest version wins, by append sequence, then by log position for
+  // equal sequences (see Placed::ordinal); a newer delete tombstone
   // means the page is dead everywhere.
   std::unordered_map<PageId, uint64_t> latest_delete;
   for (const auto& [page, seq] : log.deletes) {
@@ -989,16 +1088,26 @@ Status StoreShard::Recover() {
     auto it = latest_delete.find(p.page);
     if (it != latest_delete.end() && it->second > p.seq) continue;
     const Placed*& w = winner[p.page];
-    if (w == nullptr || p.seq > w->seq) w = &p;
+    if (w == nullptr || p.seq > w->seq ||
+        (p.seq == w->seq && p.ordinal > w->ordinal)) {
+      w = &p;
+    }
   }
+  std::vector<const Placed*> materialize;
   for (const Placed& p : placed) {
     auto it = winner.find(p.page);
     if (it != winner.end() && it->second == &p) {
+      if (p.rehomed) {
+        // No surviving slot holds this version; give it one below, once
+        // the free list is known.
+        materialize.push_back(&p);
+        continue;
+      }
       PageMeta& m = table_.Ensure(p.page);
       m.loc = PageLocation{p.segment, p.index};
       m.bytes = p.bytes;
       m.last_update = p.last_update;
-    } else {
+    } else if (!p.rehomed) {
       segments_[p.segment].Kill(p.index, p.exact_upf);
     }
   }
@@ -1012,6 +1121,64 @@ Status StoreShard::Recover() {
 
   unow_ = std::max(unow_, log.unow);
   write_seq_ = std::max(write_seq_, log.max_seq);
+
+  // Materialise surviving re-homed entries into fresh GC segments and
+  // re-emit them under real seal records, so the next recovery resolves
+  // the same versions from ordinary slots (the new seal outranks the
+  // re-homing record by log position — repeated crash/recover cycles
+  // stay idempotent). Packed in log order, lowest free slot first.
+  auto take_slot = [this](SegmentId* out) -> Status {
+    if (!free_list_.empty()) {
+      *out = free_list_.back();
+      free_list_.pop_back();
+      return Status::OK();
+    }
+    // Every slot is durably recorded. The reuse that forced the
+    // re-homing leaves the old victim slot fully dead after resolution
+    // (each of its entries lost to the re-homing record or to an
+    // earlier superseding record), so free one such slot: its free
+    // record erases nothing live and precedes the new seal in the log,
+    // mirroring the runtime reuse order.
+    for (SegmentId id = 0; id < segments_.size(); ++id) {
+      Segment& seg = segments_[id];
+      if (seg.state() != SegmentState::kSealed || seg.live_count() != 0) {
+        continue;
+      }
+      Status rs = EmitReclaim(id, unow_);
+      if (!rs.ok()) return rs;
+      seg.Reset();
+      *out = id;
+      return Status::OK();
+    }
+    return Status::Corruption(
+        "recovery: no slot available to materialise re-homed entries");
+  };
+  SegmentId cur = kInvalidSegment;
+  for (const Placed* p : materialize) {
+    if (cur == kInvalidSegment || !segments_[cur].HasRoomFor(p->bytes)) {
+      if (cur != kInvalidSegment) {
+        segments_[cur].Seal(unow_);
+        Status es = EmitSeal(cur, segments_[cur]);
+        if (!es.ok()) return es;
+      }
+      Status as = take_slot(&cur);
+      if (!as.ok()) return as;
+      segments_[cur].Open(/*log=*/0, SegmentSource::kGc, unow_);
+    }
+    const uint32_t idx = segments_[cur].Append(
+        p->page, p->bytes, p->up2, p->exact_upf, p->seq, p->last_update);
+    PageMeta& m = table_.Ensure(p->page);
+    m.loc = PageLocation{cur, idx};
+    m.bytes = p->bytes;
+    m.last_update = p->last_update;
+    ++stats_.rehome_entries_recovered;
+  }
+  if (cur != kInvalidSegment) {
+    segments_[cur].Seal(unow_);
+    Status es = EmitSeal(cur, segments_[cur]);
+    if (!es.ok()) return es;
+  }
+
   return CheckInvariants();
 }
 

@@ -201,7 +201,6 @@ class StoreShard {
     double up2;        // carried from the victim segment (§5.2.2)
     double exact_upf;  // oracle value or 0
     double est_upf;    // placement estimate at clean time
-    SegmentId from;    // harvested victim, for the unplaced accounting
   };
 
   // Streams keep user data and cleaner output in different open segments.
@@ -317,6 +316,19 @@ class StoreShard {
   // (the table then points at a stale or dangling location).
   bool SuccessorRecorded(PageId page) const;
 
+  // Strict form of SuccessorRecorded: true only when the current version
+  // is provably in an already-*emitted* backend record — absent
+  // (tombstone emitted at delete time) or located in a sealed segment.
+  // An open segment counts only via a completed checkpoint round, which
+  // callers must sequence themselves; emission is permanent, so once
+  // true for a given version the superseding record stays in the log.
+  bool SuccessorEmitted(PageId page) const;
+
+  // Persists a re-homing record carrying `entries` (still-needed entries
+  // of withheld victim `victim`) before the slot is reused. The backend
+  // makes the record durable internally — even mid-batch in async mode.
+  Status EmitRehome(SegmentId victim, std::vector<Segment::Entry> entries);
+
   // Checkpoint mode: emits the free record of every withheld reclaim
   // whose erasure is safe — all pending successors recorded — after one
   // checkpoint round covering open segments. Reclaims with unresolved
@@ -363,17 +375,20 @@ class StoreShard {
   struct QueuedReclaim {
     SegmentId id;
     UpdateCount unow;
-    /// Pages whose version superseding a dead entry of this victim was
-    /// not yet recorded at harvest time (sitting in the write buffer or
-    /// mid-placement). The victim's free record would erase the only
-    /// durable copy of those pages, so in checkpoint mode it is withheld
-    /// until every one of them is recorded (ReleaseSafeReclaims).
-    std::vector<PageId> pending;
-    /// Live pages harvested from this victim the cleaner has not placed
-    /// yet. While nonzero the victim's old record is their only durable
-    /// copy, so the free record must wait (a GC destination sealing
-    /// mid-clean would otherwise release it too early).
-    uint32_t unplaced = 0;
+    /// The victim entries its durable seal record still holds live that
+    /// a recovery might need: live pages harvested but not yet placed
+    /// (the table dangles at the victim mid-clean), and in-place-killed
+    /// entries whose superseding version was not yet recorded at harvest
+    /// time (write buffer or mid-placement) — exactly the entries the
+    /// seal record keeps live under their original page (MakeSealRecord).
+    /// While any remain unsettled the victim's durable record may be the
+    /// only durable copy, so in checkpoint mode its free record is
+    /// withheld (ReleaseSafeReclaims) and a reuse of the slot must first
+    /// re-home them under a kMetaRehome record (AllocateSegment).
+    /// Entries are pruned once their current version is provably in an
+    /// *emitted* record (SuccessorEmitted after a checkpoint round);
+    /// emission is permanent, so pruning never needs to be undone.
+    std::vector<Segment::Entry> needed;
   };
   std::vector<QueuedReclaim> reclaim_queue_;
   /// Open segments that received GC-moved pages since they were opened.

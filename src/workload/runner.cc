@@ -29,6 +29,8 @@ void FillDeviceMetrics(const StoreStats& stats, RunResult* r) {
   r->group_fsyncs = stats.group_fsyncs;
   r->seal_queue_stalls = stats.seal_queue_stalls;
   r->checkpoints_written = stats.checkpoints_written;
+  r->withheld_slot_reuses_rehomed = stats.withheld_slot_reuses_rehomed;
+  r->withheld_slot_reuses_plain = stats.withheld_slot_reuses_plain;
 }
 
 ParallelRunResult FailParallel(Status s, const std::string& variant,

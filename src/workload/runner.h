@@ -63,6 +63,11 @@ struct RunResult {
   uint64_t seal_queue_stalls = 0;
   /// Open-segment checkpoint records persisted.
   uint64_t checkpoints_written = 0;
+  /// Withheld-slot reuses that re-homed the slot's still-needed entries
+  /// under a durable record before overwriting it.
+  uint64_t withheld_slot_reuses_rehomed = 0;
+  /// Withheld-slot reuses where nothing needed re-homing.
+  uint64_t withheld_slot_reuses_plain = 0;
 };
 
 /// Builds a store for `variant` (applying its placement conventions to

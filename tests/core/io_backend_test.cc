@@ -533,6 +533,40 @@ TEST_F(IoBackendTest, GroupCommitDefersFsyncsUntilSync) {
   EXPECT_GE(stats.device_fsyncs, after_group);
 }
 
+// Rewrites shard 0's geometry record format field in place, with the
+// checksum recomputed per the on-disk spec (FNV-1a over type, body_len,
+// body). Record layout: 24-byte header (magic u32, type u16, reserved
+// u16, body_len u64, checksum u64) + 24-byte geometry body whose last
+// u32 is the format field. This turns a freshly created log into a
+// byte-exact canned log of an older writer generation: the geometry
+// record is written once at create and never rewritten, so the format
+// stamp is the only thing distinguishing the generations on disk.
+void PatchGeometryFormat(const std::string& dir, uint32_t format) {
+  const std::string path = FileBackend::MetaPath(dir, 0);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  uint8_t rec[48];
+  ASSERT_EQ(std::fread(rec, 1, sizeof(rec), f), sizeof(rec));
+  std::memcpy(rec + 24 + 20, &format, sizeof(format));
+  const uint16_t type = 4;  // geometry
+  const uint64_t body_len = 24;
+  uint64_t h = 0xCBF29CE484222325ull;
+  auto fnv = [&h](const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001B3ull;
+    }
+  };
+  fnv(&type, sizeof(type));
+  fnv(&body_len, sizeof(body_len));
+  fnv(rec + 24, body_len);
+  std::memcpy(rec + 16, &h, sizeof(h));
+  ASSERT_EQ(std::fseek(f, 0, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(rec, 1, sizeof(rec), f), sizeof(rec));
+  std::fclose(f);
+}
+
 // The PR 3 on-disk format (geometry format field 0, no checkpoint
 // records) must keep recovering under the bumped reader.
 TEST_F(IoBackendTest, Pr3FormatMetadataLogStillRecovers) {
@@ -550,38 +584,7 @@ TEST_F(IoBackendTest, Pr3FormatMetadataLogStillRecovers) {
     ASSERT_TRUE(store->Close().ok());
   }
 
-  // Rewrite the geometry record the way PR 3 wrote it: format field 0,
-  // checksum recomputed per the on-disk spec (FNV-1a over type,
-  // body_len, body). Record layout: 24-byte header (magic u32, type u16,
-  // reserved u16, body_len u64, checksum u64) + 24-byte geometry body
-  // whose last u32 is the format field.
-  auto patch_format = [&](uint32_t format) {
-    const std::string path = FileBackend::MetaPath(dir_, 0);
-    std::FILE* f = std::fopen(path.c_str(), "r+b");
-    ASSERT_NE(f, nullptr);
-    uint8_t rec[48];
-    ASSERT_EQ(std::fread(rec, 1, sizeof(rec), f), sizeof(rec));
-    std::memcpy(rec + 24 + 20, &format, sizeof(format));
-    const uint16_t type = 4;  // geometry
-    const uint64_t body_len = 24;
-    uint64_t h = 0xCBF29CE484222325ull;
-    auto fnv = [&h](const void* data, size_t len) {
-      const uint8_t* p = static_cast<const uint8_t*>(data);
-      for (size_t i = 0; i < len; ++i) {
-        h ^= p[i];
-        h *= 0x100000001B3ull;
-      }
-    };
-    fnv(&type, sizeof(type));
-    fnv(&body_len, sizeof(body_len));
-    fnv(rec + 24, body_len);
-    std::memcpy(rec + 16, &h, sizeof(h));
-    ASSERT_EQ(std::fseek(f, 0, SEEK_SET), 0);
-    ASSERT_EQ(std::fwrite(rec, 1, sizeof(rec), f), sizeof(rec));
-    std::fclose(f);
-  };
-
-  patch_format(0);
+  PatchGeometryFormat(dir_, 0);
   {
     Status st;
     auto store =
@@ -593,11 +596,150 @@ TEST_F(IoBackendTest, Pr3FormatMetadataLogStillRecovers) {
   }
 
   // A format newer than this reader must refuse loudly, not truncate.
-  patch_format(99);
+  PatchGeometryFormat(dir_, 99);
   Status st;
   auto store = LogStructuredStore::Open(cfg, MakePolicy(Variant::kGreedy), &st);
   EXPECT_EQ(store, nullptr);
   EXPECT_EQ(st.code(), Status::Code::kCorruption);
+}
+
+// A canned format-1 log (the checkpoint-era stamp, before re-homing
+// bumped the format to 2) must keep recovering under the bumped reader.
+TEST_F(IoBackendTest, CheckpointFormatMetadataLogStillRecovers) {
+  const StoreConfig cfg = FileConfig();
+  size_t live_before = 0;
+  {
+    auto store = LogStructuredStore::Create(cfg, MakePolicy(Variant::kGreedy));
+    ASSERT_NE(store, nullptr);
+    Rng rng(31);
+    for (PageId p = 0; p < 32; ++p) ASSERT_TRUE(store->Write(p).ok());
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_TRUE(store->Write(rng.NextBounded(32)).ok());
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(store->Write(rng.NextBounded(32)).ok());
+    }
+    live_before = store->LivePageCount();
+    ASSERT_TRUE(store->Close().ok());
+  }
+
+  PatchGeometryFormat(dir_, 1);
+  Status st;
+  auto store = LogStructuredStore::Open(cfg, MakePolicy(Variant::kGreedy), &st);
+  ASSERT_NE(store, nullptr) << st.ToString();
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  EXPECT_EQ(store->LivePageCount(), live_before);
+  ASSERT_TRUE(store->Close().ok());
+}
+
+// A re-homing record round-trips through the metadata log: the reader
+// hands it back separately from the seals, in replay order, with the
+// log-position ordinal that lets recovery break equal-seq ties in its
+// favour over the victim slot's original record.
+TEST_F(IoBackendTest, RehomeRecordRoundTripsWithOrdinal) {
+  const StoreConfig cfg = FileConfig(/*fsync=*/true);
+  StoreStats wstats;
+  FileBackend writer;
+  ASSERT_TRUE(writer.Open(cfg, 0, 1, &wstats, /*recover=*/false).ok());
+
+  BackendSegmentRecord seal;
+  seal.id = 2;
+  seal.source = SegmentSource::kUser;
+  seal.seal_time = 7;
+  seal.unow = 7;
+  Segment::Entry e;
+  e.page = 11;
+  e.bytes = 4096;
+  e.seq = 3;
+  e.last_update = 6;
+  seal.entries.push_back(e);
+  ASSERT_TRUE(writer.SealSegment(seal).ok());
+
+  // Re-home the entry out of slot 2 (as AllocateSegment would right
+  // before reusing the withheld slot). No payload accompanies it.
+  BackendSegmentRecord rehome = seal;
+  ASSERT_TRUE(writer.RehomeEntries(rehome).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  FileBackend reader;
+  StoreStats rstats;
+  ASSERT_TRUE(reader.Open(cfg, 0, 1, &rstats, /*recover=*/true).ok());
+  BackendRecovery out;
+  ASSERT_TRUE(reader.Scan(&out).ok());
+  ASSERT_EQ(out.segments.size(), 1u);
+  ASSERT_EQ(out.rehomed.size(), 1u);
+  EXPECT_EQ(out.rehomed[0].id, 2u);
+  ASSERT_EQ(out.rehomed[0].entries.size(), 1u);
+  EXPECT_EQ(out.rehomed[0].entries[0].page, 11u);
+  EXPECT_EQ(out.rehomed[0].entries[0].seq, 3u);
+  EXPECT_EQ(out.rehomed[0].entries[0].bytes, 4096u);
+  // Later log position must mean larger ordinal: the tie-break depends
+  // on it.
+  EXPECT_GT(out.rehomed[0].ordinal, out.segments[0].ordinal);
+}
+
+// Mid-upgrade crash compatibility: a log *created* by the format-1
+// writer but *appended to* by the re-homing writer carries a format-1
+// geometry stamp over records only format 2 defines (the stamp is
+// written once at create and never rewritten, so this is exactly what
+// a crash between upgrading the binary and recreating the store leaves
+// behind). The reader must parse the re-homing records regardless of
+// the stamp, and recovery must apply them newest-wins.
+TEST_F(IoBackendTest, MixedVersionUpgradeLogRecoversNewestWins) {
+  const StoreConfig cfg = FileConfig(/*fsync=*/true);
+  size_t live_before = 0;
+  {
+    auto store = LogStructuredStore::Create(cfg, MakePolicy(Variant::kGreedy));
+    ASSERT_NE(store, nullptr);
+    Rng rng(37);
+    for (PageId p = 0; p < 32; ++p) ASSERT_TRUE(store->Write(p).ok());
+    for (int i = 0; i < 800; ++i) {
+      ASSERT_TRUE(store->Write(rng.NextBounded(32)).ok());
+    }
+    live_before = store->LivePageCount();
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // Downgrade the stamp: the log now claims format 1 (pre-re-homing).
+  PatchGeometryFormat(dir_, 1);
+
+  // The upgraded writer appends a re-homing record to the old log —
+  // re-home every live entry of one sealed segment, as AllocateSegment
+  // would before reusing the slot.
+  BackendSegmentRecord victim;
+  {
+    FileBackend writer;
+    StoreStats wstats;
+    ASSERT_TRUE(writer.Open(cfg, 0, 1, &wstats, /*recover=*/true).ok());
+    BackendRecovery scan;
+    ASSERT_TRUE(writer.Scan(&scan).ok());
+    ASSERT_FALSE(scan.segments.empty());
+    for (const BackendSegmentRecord& rec : scan.segments) {
+      for (const Segment::Entry& e : rec.entries) {
+        if (e.page == kInvalidPage) continue;
+        if (victim.entries.empty()) victim = rec;
+      }
+    }
+    ASSERT_FALSE(victim.entries.empty()) << "no sealed segment to re-home";
+    ASSERT_TRUE(writer.RehomeEntries(victim).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  // Full recovery over the mixed log: the re-homing record's entries
+  // win their equal-seq ties by ordinal and get materialised into a
+  // fresh slot; nothing is lost, everything stays readable.
+  Status st;
+  auto store = LogStructuredStore::Open(cfg, MakePolicy(Variant::kGreedy), &st);
+  ASSERT_NE(store, nullptr) << st.ToString();
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  EXPECT_EQ(store->LivePageCount(), live_before);
+  for (const Segment::Entry& e : victim.entries) {
+    if (e.page == kInvalidPage) continue;
+    ASSERT_TRUE(store->Contains(e.page)) << "page " << e.page;
+    std::vector<uint8_t> data;
+    EXPECT_TRUE(store->ReadPage(e.page, &data).ok()) << "page " << e.page;
+  }
+  ASSERT_TRUE(store->Close().ok());
 }
 
 TEST_F(IoBackendTest, CrashAfterOpsTearsFilesAndKillsBackend) {

@@ -12,11 +12,8 @@
 //   * every page acknowledged at the frontier must be present with a
 //     version at least as new as its frontier version (zero lost
 //     acknowledged writes), unless a newer acknowledged delete removed
-//     it — with one scoped exception: an iteration that diverted
-//     through AllocateSegment's withheld-slot fallback (the documented
-//     residual crash window, counted by withheld_slot_reuses) may
-//     attribute losses to that window; they are counted, and any loss
-//     in a non-diverted iteration still fails hard;
+//     it — strictly, in every iteration and every geometry; there is
+//     no tolerated-loss carve-out anywhere in this file;
 //   * every surviving page must read back with a byte pattern and size
 //     matching some version that was actually written (no invented or
 //     torn data);
@@ -24,13 +21,21 @@
 //   * the recovered store must stay fully usable (writes, invariants,
 //     clean close, second reopen).
 //
+// The strict rule covers AllocateSegment's withheld-slot fallback too:
+// since entry re-homing landed, a withheld slot is reused only after
+// every entry still needed from it has been persisted under a durable
+// re-homing record (withheld_slot_reuses_rehomed) or shown to need
+// nothing (withheld_slot_reuses_plain). The diverting geometries assert
+// the re-homed path actually fires, and pinned-seed tests replay the
+// two workloads that lost pages before re-homing existed.
+//
 // Kill points land mid-seal, between a seal and its victim's free
-// record, mid-checkpoint, mid-group-commit and mid-hole-punch because
-// the op budget counts every backend operation uniformly and the tear
-// style is drawn per iteration. Both 1-shard and 8-shard geometries run,
-// alternating sync and async seal pipelines, LSS_TORTURE_ITERS scales
-// the kill-point count (default 200 per geometry; scripts/check.sh
-// --torture raises it).
+// record, mid-checkpoint, mid-group-commit, mid-hole-punch and — via
+// the dedicated sweep below — exactly at and around the re-homing
+// record itself. Both 1-shard and 8-shard geometries run, alternating
+// sync and async seal pipelines; LSS_TORTURE_ITERS scales the
+// kill-point count (default 200 per geometry; scripts/check.sh
+// --torture raises it to 600).
 
 #include <algorithm>
 #include <cstdio>
@@ -105,28 +110,23 @@ class CrashRecoveryTest : public ::testing::Test {
 // how tight the free pool runs. The default reproduces the original
 // greedy harness; the multi-log variant (which ties up two open
 // segments per active log) combined with a tiny pool drives the
-// AllocateSegment withheld-slot fallback.
+// AllocateSegment withheld-slot fallback — and with it, entry
+// re-homing.
 struct TortureGeometry {
   Variant variant = Variant::kGreedy;
   uint32_t segments_per_shard = 32;
   PageId pages_per_shard = 110;  // fill ~0.4 at max size (default geo)
-  /// Plain reuse of a withheld slot is a *known* residual crash window:
-  /// the new occupant's payload overwrites a region whose old record
-  /// can still win replay, and the forced-out free record erases dead
-  /// entries whose buffered successors died with the crash (ROADMAP
-  /// "Multi-GC-destination crash window"; the fix — re-homing
-  /// still-needed entries before reuse — is tracked there). With this
-  /// flag, an iteration that actually diverted through the fallback
-  /// (withheld_slot_reuses > 0) audits crashed shards tolerantly —
-  /// violations counted, not failed; an iteration that never diverted
-  /// stays fully strict, so the suite still fails loudly on any loss
-  /// the window cannot explain. All other checks (recovery, invariants,
-  /// clean shards, reuse) stay strict either way. The greedy default
-  /// geometries reach the window too (rarely — e.g. 8-shard seed 20323,
-  /// confirmed against the pre-counter tree), which is why the flagship
-  /// tortures also set this.
-  bool tolerate_residual_window = false;
 };
+
+// The geometry that reliably reaches the withheld-slot fallback (see
+// TortureMultiLogTinyFreePool for why).
+TortureGeometry MultiLogTinyPoolGeometry() {
+  TortureGeometry geo;
+  geo.variant = Variant::kMultiLog;
+  geo.segments_per_shard = 26;
+  geo.pages_per_shard = 90;
+  return geo;
+}
 
 StoreConfig TortureConfig(uint32_t num_shards, bool async_seal,
                           const std::string& dir,
@@ -180,11 +180,9 @@ bool ApplyRandomOp(ShardedStore* store, std::vector<PageModel>* model,
 
 // Audits one page of a crashed shard. `f` is the frontier version (1-
 // based count; 0 = nothing acknowledged). Recovered state must be some
-// version >= the frontier version. With `violations` non-null (the
-// tolerated-residual-window mode, see TortureGeometry) failures are
-// counted instead of reported.
+// version >= the frontier version.
 void AuditCrashedPage(const ShardedStore& store, PageId p,
-                      const PageModel& pm, uint64_t* violations = nullptr) {
+                      const PageModel& pm) {
   const size_t n = pm.ops.size();
   const size_t f = pm.frontier;
   if (store.Contains(p)) {
@@ -195,11 +193,6 @@ void AuditCrashedPage(const ShardedStore& store, PageId p,
     }
     std::vector<uint8_t> data;
     const Status rs = store.ReadPage(p, &data);
-    const bool read_ok = rs.ok() && data.size() == size;
-    if (violations != nullptr) {
-      if (!legal || !read_ok) ++*violations;
-      return;
-    }
     EXPECT_TRUE(legal) << "page " << p << " recovered with size " << size
                        << ", not any version >= frontier " << f;
     EXPECT_TRUE(rs.ok()) << "page " << p << ": " << rs.ToString();
@@ -210,10 +203,6 @@ void AuditCrashedPage(const ShardedStore& store, PageId p,
     bool legal = f == 0;
     for (size_t v = (f == 0 ? 1 : f); v <= n && !legal; ++v) {
       legal = pm.ops[v - 1].bytes == kDeleteOp;
-    }
-    if (violations != nullptr) {
-      if (!legal) ++*violations;
-      return;
     }
     EXPECT_TRUE(legal) << "page " << p
                        << " lost: acknowledged frontier version " << f
@@ -246,8 +235,8 @@ void AuditCleanPage(const ShardedStore& store, PageId p,
 void RunTortureIteration(const std::string& dir, uint32_t num_shards,
                          uint64_t seed, bool async_seal, bool audit_reuse,
                          const TortureGeometry& geo = {},
-                         uint64_t* withheld_reuses_out = nullptr,
-                         uint64_t* violations_out = nullptr) {
+                         uint64_t* rehomed_reuses_out = nullptr,
+                         uint64_t* plain_reuses_out = nullptr) {
   SCOPED_TRACE("seed=" + std::to_string(seed) +
                " shards=" + std::to_string(num_shards) +
                " async=" + std::to_string(async_seal) +
@@ -302,14 +291,19 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
     (void)ApplyRandomOp(store.get(), &model, num_pages, &rng);
   }
 
-  // Read the fallback-diversion counters before the kill wipes them:
-  // they decide — per shard, per iteration — whether the crashed-page
-  // audit may attribute a loss to the documented residual window. A
-  // diversion in shard 3 must not excuse a loss in shard 0.
-  std::vector<uint64_t> shard_reuses(num_shards, 0);
+  // Read the fallback-diversion counters before the kill wipes them.
+  // They no longer gate the audit — every diversion is either re-homed
+  // (the slot's still-needed entries went durable first) or provably
+  // had nothing to re-home — but the diverting geometries assert below
+  // that the re-homed path actually fires.
   for (uint32_t s = 0; s < num_shards; ++s) {
-    shard_reuses[s] = store->shard(s).StatsSnapshot().withheld_slot_reuses;
-    if (withheld_reuses_out != nullptr) *withheld_reuses_out += shard_reuses[s];
+    const StoreStats snap = store->shard(s).StatsSnapshot();
+    if (rehomed_reuses_out != nullptr) {
+      *rehomed_reuses_out += snap.withheld_slot_reuses_rehomed;
+    }
+    if (plain_reuses_out != nullptr) {
+      *plain_reuses_out += snap.withheld_slot_reuses_plain;
+    }
   }
 
   // "Kill the process": Close flushes the healthy shards (a shard still
@@ -334,16 +328,8 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
       EXPECT_FALSE(reopened->Contains(p)) << "page " << p;
       continue;
     }
-    const uint32_t owner = PageShard(p, num_shards);
-    if (crashed[owner]) {
-      // Tolerant only when the page's OWN shard diverted through the
-      // withheld-slot fallback this iteration; every other shard keeps
-      // the strict zero-loss audit.
-      const bool tolerate = geo.tolerate_residual_window &&
-                            shard_reuses[owner] > 0 &&
-                            violations_out != nullptr;
-      AuditCrashedPage(*reopened, p, model[p],
-                       tolerate ? violations_out : nullptr);
+    if (crashed[PageShard(p, num_shards)]) {
+      AuditCrashedPage(*reopened, p, model[p]);
     } else {
       AuditCleanPage(*reopened, p, model[p]);
     }
@@ -366,40 +352,30 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
   }
 }
 
-// The flagship geometries run with the per-iteration residual-window
-// policy (see TortureGeometry::tolerate_residual_window): iterations
-// that never diverted through the withheld-slot fallback — the vast
-// majority — are audited with the strict zero-loss rule; the rare
-// diverted iteration (greedy reaches the fallback too, e.g. 8-shard
-// seed 20323) may attribute a loss to the documented window, counted
-// and summarised below.
+// Every geometry runs the strict zero-loss audit in every iteration —
+// including the rare iterations that divert through the withheld-slot
+// fallback (greedy reaches it too, e.g. 8-shard seed 20323): since
+// entry re-homing landed those are no longer a loss window.
 void RunTortureGeometry(const std::string& dir, uint32_t num_shards,
                         uint64_t seed_base) {
-  TortureGeometry geo;
-  geo.tolerate_residual_window = true;
   const int iters = TortureIters();
-  uint64_t total_reuses = 0;
-  uint64_t total_violations = 0;
+  uint64_t total_rehomed = 0;
+  uint64_t total_plain = 0;
   for (int i = 0; i < iters; ++i) {
-    uint64_t reuses = 0;
-    uint64_t violations = 0;
     RunTortureIteration(dir, num_shards, seed_base + i,
                         /*async_seal=*/(i % 2) == 1,
-                        /*audit_reuse=*/(i % 8) == 0, geo, &reuses,
-                        &violations);
+                        /*audit_reuse=*/(i % 8) == 0, TortureGeometry{},
+                        &total_rehomed, &total_plain);
     if (::testing::Test::HasFatalFailure() ||
         ::testing::Test::HasNonfatalFailure()) {
       FAIL() << "torture iteration " << i << " failed";
     }
-    total_reuses += reuses;
-    total_violations += violations;
   }
-  if (total_reuses > 0) {
-    std::printf("%u-shard torture: %llu withheld-slot reuses, %llu "
-                "tolerated residual-window violation(s) across %d "
-                "iterations\n",
-                num_shards, static_cast<unsigned long long>(total_reuses),
-                static_cast<unsigned long long>(total_violations), iters);
+  if (total_rehomed + total_plain > 0) {
+    std::printf("%u-shard torture: %llu re-homed + %llu plain withheld-slot "
+                "reuses across %d iterations, zero losses\n",
+                num_shards, static_cast<unsigned long long>(total_rehomed),
+                static_cast<unsigned long long>(total_plain), iters);
   }
 }
 
@@ -416,55 +392,60 @@ TEST_F(CrashRecoveryTest, TortureMultiLogTinyFreePool) {
   // tiny free pool the cleaner can hold more GC destinations open than
   // there are spare free slots — exactly the regime where
   // AllocateSegment's withheld-slot skip finds only withheld slots and
-  // falls back to plain reuse (the residual window ROADMAP tracks as
-  // "Multi-GC-destination crash window"). This geometry makes that
-  // fallback fire (asserted via the withheld_slot_reuses counter) and
-  // *measures* the window: a crash landing inside a diverted iteration
-  // may lose pages (tolerated, counted), but any audit violation in an
-  // iteration whose fallback never fired is a hard failure — the
-  // window is the only accepted explanation. Recovery success,
-  // invariants, clean-shard exactness and post-recovery usability stay
-  // strict throughout.
-  TortureGeometry geo;
-  geo.variant = Variant::kMultiLog;
-  geo.segments_per_shard = 26;
-  geo.pages_per_shard = 90;
-  geo.tolerate_residual_window = true;
+  // falls back to reuse. Before entry re-homing this was the residual
+  // crash window ROADMAP tracked as "Multi-GC-destination crash
+  // window"; now the fallback must either re-home the slot's
+  // still-needed entries (withheld_slot_reuses_rehomed) or prove the
+  // slot needs nothing (withheld_slot_reuses_plain), and the audit is
+  // strict zero-loss like every other geometry. The geometry must
+  // actually exercise the re-homed path, or it is not testing what it
+  // claims to.
+  const TortureGeometry geo = MultiLogTinyPoolGeometry();
   const int iters = std::max(TortureIters() / 4, 25);
-  uint64_t total_reuses = 0;
-  uint64_t total_violations = 0;
-  int iters_with_violations = 0;
+  uint64_t total_rehomed = 0;
+  uint64_t total_plain = 0;
   for (int i = 0; i < iters; ++i) {
-    uint64_t reuses = 0;
-    uint64_t violations = 0;
     RunTortureIteration(dir_, /*num_shards=*/1, /*seed=*/30000 + i,
                         /*async_seal=*/(i % 2) == 1,
-                        /*audit_reuse=*/(i % 8) == 0, geo, &reuses,
-                        &violations);
+                        /*audit_reuse=*/(i % 8) == 0, geo, &total_rehomed,
+                        &total_plain);
     if (HasFatalFailure() || HasNonfatalFailure()) {
       FAIL() << "multi-log torture iteration " << i << " failed";
     }
-    // The implication that keeps this geometry a regression test: a
-    // lost/torn page without a withheld-slot diversion would be a NEW
-    // crash window, not the documented one.
-    EXPECT_TRUE(violations == 0 || reuses > 0)
-        << "iteration " << i << " lost " << violations
-        << " page(s) without any withheld-slot reuse: unexplained window";
-    total_reuses += reuses;
-    total_violations += violations;
-    iters_with_violations += violations > 0 ? 1 : 0;
   }
-  // The geometry must actually exercise the fallback path, or it is not
-  // testing what it claims to.
-  EXPECT_GT(total_reuses, 0u)
-      << "multi-log tiny-pool geometry never diverted through the "
-         "withheld-slot fallback; tighten the free pool";
-  std::printf("multi-log tiny-pool: %llu withheld-slot reuses across %d "
-              "iterations; %llu audit violations in %d iterations "
-              "(the documented residual window)\n",
-              static_cast<unsigned long long>(total_reuses), iters,
-              static_cast<unsigned long long>(total_violations),
-              iters_with_violations);
+  EXPECT_GT(total_rehomed, 0u)
+      << "multi-log tiny-pool geometry never re-homed a withheld slot; "
+         "tighten the free pool";
+  std::printf("multi-log tiny-pool: %llu re-homed + %llu plain "
+              "withheld-slot reuses across %d iterations, zero losses\n",
+              static_cast<unsigned long long>(total_rehomed),
+              static_cast<unsigned long long>(total_plain), iters);
+}
+
+// Pinned regression seeds: before entry re-homing landed, these exact
+// workloads lost acknowledged pages — the withheld-slot fallback reused
+// a slot whose still-needed entries existed only in the victim's own
+// records, and the kill point landed before the successors' seals went
+// durable. Both must now divert again and recover loss-free under the
+// strict audit inside RunTortureIteration.
+TEST_F(CrashRecoveryTest, PinnedLossSeedEightShardAsync) {
+  uint64_t rehomed = 0;
+  uint64_t plain = 0;
+  RunTortureIteration(dir_, /*num_shards=*/8, /*seed=*/20323,
+                      /*async_seal=*/true, /*audit_reuse=*/false,
+                      TortureGeometry{}, &rehomed, &plain);
+  // The seed is pinned *because* it diverts; if the diversion stops
+  // firing, the regression test has gone stale — repin it.
+  EXPECT_GT(rehomed + plain, 0u);
+}
+
+TEST_F(CrashRecoveryTest, PinnedLossSeedMultiLogTinyFreePool) {
+  uint64_t rehomed = 0;
+  uint64_t plain = 0;
+  RunTortureIteration(dir_, /*num_shards=*/1, /*seed=*/30076,
+                      /*async_seal=*/false, /*audit_reuse=*/false,
+                      MultiLogTinyPoolGeometry(), &rehomed, &plain);
+  EXPECT_GT(rehomed + plain, 0u);
 }
 
 // A focused regression for the crash window the checkpointing closed:
@@ -519,6 +500,134 @@ TEST_F(CrashRecoveryTest, DenseKillPointsAroundReclaims) {
       FAIL() << "kill point " << budget << " failed";
     }
   }
+}
+
+// Kill points aimed at the re-homing emission itself. A probe run
+// (unarmed, sync, multi-log tiny pool) finds a seed whose workload
+// re-homes after the frontier and brackets the exact mutating-op range
+// of the driver op that emitted the first re-homing record; the sweep
+// then re-runs the identical workload armed with every budget in that
+// bracket. Because the bracket covers the re-homing op itself, one
+// budget kills it exactly — TearAndDie then appends garbage at the
+// metadata tail, i.e. a torn re-homing record — and the budgets just
+// past it crash after the re-homing fsync but before the reused slot's
+// new seal is durable. Every budget must recover with zero lost
+// acknowledged writes.
+TEST_F(CrashRecoveryTest, KillPointsInsideRehomeEmission) {
+  const TortureGeometry geo = MultiLogTinyPoolGeometry();
+  const StoreConfig cfg = TortureConfig(1, /*async_seal=*/false, dir_, geo);
+  const PageId num_pages = geo.pages_per_shard;
+  constexpr int kWarmOps = 600;
+  constexpr int kMaxProbeOps = 1600;
+
+  auto make_store = [&](FaultInjectionBackend** fault,
+                        Status* st) -> std::unique_ptr<ShardedStore> {
+    return ShardedStore::Create(
+        cfg, 1, [] { return MakePolicy(Variant::kMultiLog); }, st,
+        [fault](uint32_t) -> std::unique_ptr<SegmentBackend> {
+          auto f = std::make_unique<FaultInjectionBackend>(
+              std::make_unique<FileBackend>());
+          *fault = f.get();
+          return f;
+        });
+  };
+  auto mutating_ops = [](const FaultInjectionBackend& f) {
+    return f.seals() + f.checkpoints() + f.reclaims() + f.deletes() +
+           f.syncs() + f.rehomes();
+  };
+
+  // Probe: find a seed that re-homes after the frontier and the
+  // mutating-op range [lo_op, hi_op] (counted from the arming point,
+  // 1-based) of the driver op during which the re-home fired.
+  uint64_t seed = 0;
+  int flip_driver_op = -1;
+  int64_t lo_op = 0;
+  int64_t hi_op = 0;
+  for (uint64_t cand = 40000; cand < 40020 && flip_driver_op < 0; ++cand) {
+    Rng rng(cand);
+    std::vector<PageModel> model(num_pages);
+    FaultInjectionBackend* fault = nullptr;
+    Status st;
+    auto store = make_store(&fault, &st);
+    ASSERT_NE(store, nullptr) << st.ToString();
+    for (int i = 0; i < kWarmOps; ++i) {
+      ASSERT_TRUE(ApplyRandomOp(store.get(), &model, num_pages, &rng));
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    const int64_t base = mutating_ops(*fault);
+    for (int i = 0; i < kMaxProbeOps; ++i) {
+      const int64_t before = mutating_ops(*fault);
+      ASSERT_TRUE(ApplyRandomOp(store.get(), &model, num_pages, &rng));
+      if (fault->rehomes() > 0) {
+        seed = cand;
+        flip_driver_op = i;
+        lo_op = before - base + 1;
+        hi_op = mutating_ops(*fault) - base;
+        break;
+      }
+    }
+    ASSERT_TRUE(store->Close().ok());
+  }
+  ASSERT_GE(flip_driver_op, 0)
+      << "no probe seed re-homed within the op budget; widen the probe";
+  std::printf("rehome kill points: seed=%llu, re-home inside mutating ops "
+              "[%lld, %lld] after the frontier\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(lo_op), static_cast<long long>(hi_op));
+
+  // Sweep: budget b kills the (b+1)-th mutating op after arming, so
+  // budgets [lo_op-1, hi_op-1] kill every op of the flip driver op —
+  // the re-home among them — and a margin on both sides covers the
+  // record just before it and the crash right after its fsync.
+  bool saw_crash_at_or_before_rehome = false;
+  bool saw_crash_after_rehome = false;
+  const int64_t lo_budget = std::max<int64_t>(0, lo_op - 4);
+  const int64_t hi_budget = hi_op + 3;
+  for (int64_t budget = lo_budget; budget <= hi_budget; ++budget) {
+    SCOPED_TRACE("rehome kill budget " + std::to_string(budget));
+    Rng rng(seed);
+    std::vector<PageModel> model(num_pages);
+    FaultInjectionBackend* fault = nullptr;
+    Status st;
+    auto store = make_store(&fault, &st);
+    ASSERT_NE(store, nullptr) << st.ToString();
+    for (int i = 0; i < kWarmOps; ++i) {
+      ASSERT_TRUE(ApplyRandomOp(store.get(), &model, num_pages, &rng));
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    for (PageModel& pm : model) pm.frontier = pm.ops.size();
+    fault->CrashAfterOps(budget, /*seed=*/5150 + static_cast<uint64_t>(budget));
+    for (int i = 0; i < flip_driver_op + 120; ++i) {
+      (void)ApplyRandomOp(store.get(), &model, num_pages, &rng);
+    }
+    (void)store->Close();
+    const bool crashed = fault->crashed();
+    EXPECT_TRUE(crashed) << "budget never exhausted; the sweep is not "
+                            "hitting the re-homing window";
+    if (crashed && fault->rehomes() == 0) saw_crash_at_or_before_rehome = true;
+    if (crashed && fault->rehomes() > 0) saw_crash_after_rehome = true;
+    store.reset();
+    auto reopened = ShardedStore::Open(
+        cfg, 1, [] { return MakePolicy(Variant::kGreedy); }, &st);
+    ASSERT_NE(reopened, nullptr) << st.ToString();
+    ASSERT_TRUE(reopened->CheckInvariants().ok());
+    for (PageId p = 0; p < num_pages; ++p) {
+      if (model[p].ops.empty()) continue;
+      if (crashed) {
+        AuditCrashedPage(*reopened, p, model[p]);
+      } else {
+        AuditCleanPage(*reopened, p, model[p]);
+      }
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      FAIL() << "rehome kill budget " << budget << " failed";
+    }
+  }
+  // The contiguous bracket guarantees the boundary budget killed the
+  // re-homing op itself (torn record tail) and a later one crashed
+  // after its fsync; verify both sides were actually exercised.
+  EXPECT_TRUE(saw_crash_at_or_before_rehome);
+  EXPECT_TRUE(saw_crash_after_rehome);
 }
 
 }  // namespace
