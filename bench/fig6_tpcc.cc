@@ -21,6 +21,8 @@
 //                         over an N-shard store)
 //   LSS_BENCH_SMOKE=1     tiny cardinality + one fill factor, for CI
 //   LSS_BENCH_NO_CACHE=1  always regenerate the trace
+//   LSS_BENCH_POOL=p      buffer-pool policy for generation (lru|clock|2q;
+//                         a separate trace cache entry per policy)
 //   LSS_BENCH_JSON=path   machine-readable results (bench_common.h)
 
 #include <cinttypes>
@@ -83,6 +85,9 @@ std::string TraceCachePath(const tpcc::TpccConfig& tc, uint64_t warm_txns,
   mix(tc.buffer_pool_pages);
   mix(tc.seed);
   mix(tc.workers);
+  // Eviction order decides which write-backs the trace records, so a
+  // different replacement policy is a different trace.
+  mix(static_cast<uint64_t>(tc.pool_policy));
   mix(warm_txns);
   mix(measure_txns);
   mix(checkpoint_every);
@@ -93,14 +98,24 @@ std::string TraceCachePath(const tpcc::TpccConfig& tc, uint64_t warm_txns,
   return std::string(tmp) + buf;
 }
 
-// The trace's binary file holds only the records; the run metadata rides
-// in a tiny sidecar so a cache hit restores the full TpccTraceResult.
+// The trace's binary files hold only the records; the run metadata
+// (boundaries, pool counters, pre-split shape) rides in a tiny sidecar
+// so a cache hit restores the full TpccTraceResult.
 bool SaveMeta(const std::string& path, const tpcc::TpccTraceResult& gen) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "%zu %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
                gen.measure_from, gen.pages_after_load, gen.pages_final,
                gen.transactions);
+  std::fprintf(f, "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+               "\n",
+               gen.pool_hits, gen.pool_misses, gen.pool_evictions,
+               gen.pool_write_backs, gen.pool_latch_acquisitions);
+  std::fprintf(f, "%u", gen.presplit.shards);
+  for (uint32_t s = 0; s < gen.presplit.shards; ++s) {
+    std::fprintf(f, " %zu", gen.presplit.measure_from[s]);
+  }
+  std::fprintf(f, "\n");
   std::fclose(f);
   return true;
 }
@@ -110,10 +125,23 @@ bool LoadMeta(const std::string& path, tpcc::TpccTraceResult* gen) {
   if (f == nullptr) return false;
   size_t measure_from = 0;
   uint64_t after_load = 0, final_pages = 0, txns = 0;
-  const int n = std::fscanf(f, "%zu %" SCNu64 " %" SCNu64 " %" SCNu64,
-                            &measure_from, &after_load, &final_pages, &txns);
+  uint32_t shards = 0;
+  bool ok =
+      std::fscanf(f, "%zu %" SCNu64 " %" SCNu64 " %" SCNu64, &measure_from,
+                  &after_load, &final_pages, &txns) == 4 &&
+      std::fscanf(f, "%" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                  " %" SCNu64,
+                  &gen->pool_hits, &gen->pool_misses, &gen->pool_evictions,
+                  &gen->pool_write_backs,
+                  &gen->pool_latch_acquisitions) == 5 &&
+      std::fscanf(f, "%u", &shards) == 1;
+  gen->presplit.shards = shards;
+  gen->presplit.measure_from.assign(shards, 0);
+  for (uint32_t s = 0; ok && s < shards; ++s) {
+    ok = std::fscanf(f, "%zu", &gen->presplit.measure_from[s]) == 1;
+  }
   std::fclose(f);
-  if (n != 4) return false;
+  if (!ok) return false;
   gen->measure_from = measure_from;
   gen->pages_after_load = after_load;
   gen->pages_final = final_pages;
@@ -121,9 +149,14 @@ bool LoadMeta(const std::string& path, tpcc::TpccTraceResult* gen) {
   return true;
 }
 
+std::string ShardTracePath(const std::string& base, uint32_t s) {
+  return base + ".s" + std::to_string(s) + ".trace";
+}
+
 CachedTrace GenerateOrLoadTrace(const tpcc::TpccConfig& tc,
                                 uint64_t warm_txns, uint64_t measure_txns,
-                                uint64_t checkpoint_every) {
+                                uint64_t checkpoint_every,
+                                uint32_t presplit_shards) {
   const std::string base =
       TraceCachePath(tc, warm_txns, measure_txns, checkpoint_every);
   const std::string trace_path = base + ".trace";
@@ -133,21 +166,45 @@ CachedTrace GenerateOrLoadTrace(const tpcc::TpccConfig& tc,
   CachedTrace out;
   if (cache_enabled && LoadMeta(meta_path, &out.gen) &&
       out.gen.trace.LoadFrom(trace_path) && !out.gen.trace.Empty()) {
+    // The per-shard sub-traces ride in sibling files; a damaged or
+    // missing one just forfeits the fast path (the router re-derives the
+    // same routing from the main trace).
+    if (out.gen.presplit.shards == presplit_shards &&
+        presplit_shards > 0) {
+      out.gen.presplit.sub.resize(presplit_shards);
+      for (uint32_t s = 0; s < presplit_shards; ++s) {
+        if (!out.gen.presplit.sub[s].LoadFrom(ShardTracePath(base, s))) {
+          out.gen.presplit = ShardedTrace();
+          break;
+        }
+      }
+    } else {
+      out.gen.presplit = ShardedTrace();
+    }
     out.from_cache = true;
     out.gen.workers = tc.workers;
     return out;
   }
   out.gen = tpcc::GenerateTpccTrace(tc, warm_txns, measure_txns,
-                                    checkpoint_every);
+                                    checkpoint_every, presplit_shards);
   if (cache_enabled) {
     // Best effort, and atomic against concurrent bench runs: write to a
     // pid-unique temp name, then rename into place (atomic on POSIX), so
-    // a reader never sees a half-written cache file.
+    // a reader never sees a half-written cache file. The meta sidecar
+    // lands last: a reader only trusts shard files its meta promises.
     const std::string suffix = "." + std::to_string(::getpid()) + ".tmp";
     const std::string trace_tmp = trace_path + suffix;
     const std::string meta_tmp = meta_path + suffix;
-    if (out.gen.trace.SaveTo(trace_tmp) && SaveMeta(meta_tmp, out.gen) &&
-        std::rename(trace_tmp.c_str(), trace_path.c_str()) == 0 &&
+    bool ok = out.gen.trace.SaveTo(trace_tmp) &&
+              std::rename(trace_tmp.c_str(), trace_path.c_str()) == 0;
+    for (uint32_t s = 0; ok && s < out.gen.presplit.shards; ++s) {
+      const std::string shard_path = ShardTracePath(base, s);
+      const std::string shard_tmp = shard_path + suffix;
+      ok = out.gen.presplit.sub[s].SaveTo(shard_tmp) &&
+           std::rename(shard_tmp.c_str(), shard_path.c_str()) == 0;
+      if (!ok) std::remove(shard_tmp.c_str());
+    }
+    if (ok && SaveMeta(meta_tmp, out.gen) &&
         std::rename(meta_tmp.c_str(), meta_path.c_str()) == 0) {
       return out;
     }
@@ -177,6 +234,7 @@ void Run() {
   tc.orders_per_district = smoke ? 120 : 400;
   tc.seed = 17;
   tc.workers = threads;
+  tc.pool_policy = bench::PoolPolicy();
 
   const uint64_t warm_txns = smoke ? 1000 : 20000ull * scale;
   const uint64_t measure_txns = smoke ? 3000 : 80000ull * scale;
@@ -204,7 +262,8 @@ void Run() {
 
   const CachedTrace cached =
       GenerateOrLoadTrace(tc, warm_txns, measure_txns,
-                          /*checkpoint_every=*/2000);
+                          /*checkpoint_every=*/2000,
+                          /*presplit_shards=*/threads > 1 ? threads : 0);
   const tpcc::TpccTraceResult& gen = cached.gen;
   if (cached.from_cache) {
     std::printf("trace (cached): %zu page writes (%zu measured), db grew "
@@ -223,13 +282,22 @@ void Run() {
   }
   bench::Emit(bench::JsonRow("fig6_tpcc")
                   .Str("row", "generation")
+                  .Str("pool_policy", EvictionPolicyName(tc.pool_policy))
                   .Num("threads", static_cast<uint64_t>(threads))
                   .Num("scale", static_cast<uint64_t>(scale))
                   .Num("warehouses", static_cast<uint64_t>(tc.warehouses))
                   .Num("trace_records", static_cast<uint64_t>(gen.trace.Size()))
                   .Num("pages_final", gen.pages_final)
                   .Num("from_cache", static_cast<uint64_t>(cached.from_cache))
-                  .Num("generation_seconds", gen.generation_seconds));
+                  .Num("generation_seconds", gen.generation_seconds)
+                  .Num("pool_hits", gen.pool_hits)
+                  .Num("pool_misses", gen.pool_misses)
+                  .Num("pool_evictions", gen.pool_evictions)
+                  .Num("pool_write_backs", gen.pool_write_backs)
+                  .Num("pool_latch_acquisitions",
+                       gen.pool_latch_acquisitions)
+                  .Num("presplit_shards",
+                       static_cast<uint64_t>(gen.presplit.shards)));
 
   StoreConfig base;
   base.page_bytes = 4096;
@@ -264,8 +332,9 @@ void Run() {
       RunResult r;
       double replay_seconds = 0.0;
       if (threads > 1) {
-        const ParallelRunResult pr =
-            RunTraceParallel(cfg, v, gen.trace, gen.measure_from, threads);
+        const ParallelRunResult pr = RunTraceParallel(
+            cfg, v, gen.trace, gen.measure_from, threads,
+            gen.presplit.Valid() ? &gen.presplit : nullptr);
         r = pr.result;
         replay_seconds = pr.measure_seconds;
       } else {

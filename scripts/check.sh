@@ -11,7 +11,8 @@
 #             ThreadSanitizer — the data-race gate for ShardedStore, the
 #             striped PageTable, the per-shard async seal pipeline
 #             (AsyncSeal* cases in tests/core/sharded_store_test.cc), the
-#             latch-striped buffer pool (BufferPoolParallel*), the
+#             latch-striped buffer pool (BufferPoolParallel*, which
+#             includes the latch-free CLOCK hit-path stress), the
 #             multi-worker TPC-C engine (TpccParallel*) and parallel
 #             trace replay (TraceReplayParallel*).
 #   --asan:   rebuild with -fsanitize=address,undefined in ./build-asan
@@ -113,6 +114,19 @@ if [[ -x "$BUILD_DIR/bench/fig6_tpcc" ]]; then
     "$BUILD_DIR/bench/fig6_tpcc"
   grep -q '"bench":"fig6_tpcc"' "$BUILD_DIR/fig6_smoke.json"
   echo "check.sh: fig6 parallel smoke green"
+fi
+
+# Buffer-pool eviction-policy smoke: runs all three policies (exact
+# LRU / CLOCK / 2Q) through the hit-path, TPC-C and scan-flood panels
+# and sanity-checks the JSON — the gate for the pluggable-eviction
+# seam (latch-free CLOCK hits, 2Q scan resistance).
+if [[ -x "$BUILD_DIR/bench/buffer_pool" ]]; then
+  LSS_BENCH_SMOKE=1 \
+    LSS_BENCH_JSON="$BUILD_DIR/buffer_pool_smoke.json" \
+    "$BUILD_DIR/bench/buffer_pool"
+  grep -q '"bench":"buffer_pool"' "$BUILD_DIR/buffer_pool_smoke.json"
+  grep -q '"row":"scan_flood"' "$BUILD_DIR/buffer_pool_smoke.json"
+  echo "check.sh: buffer_pool policy smoke green"
 fi
 
 echo "check.sh: all green"

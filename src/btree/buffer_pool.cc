@@ -11,23 +11,33 @@ namespace {
 // Auto-partitioning: scale stripes with capacity but keep >= 64 frames
 // per stripe — the worst case has every worker thread's transient pins
 // (a handful each) hashing into one stripe, and a stripe with zero
-// unpinned frames cannot evict. Power-of-two counts keep the hash cheap
-// to reason about; 64 stripes are plenty for any thread count we run.
+// unpinned frames cannot evict. The floor means every capacity below 128
+// (in particular the asserted minimum 8 up to 127) runs as exactly one
+// partition — a single exact cache, the pre-striping behaviour.
+// Power-of-two counts keep the hash cheap to reason about; 64 stripes
+// are plenty for any thread count we run.
 uint32_t AutoPartitions(size_t capacity_pages) {
   uint32_t parts = 1;
   while (parts < 64 && capacity_pages / (parts * 2) >= 64) parts *= 2;
   return parts;
 }
 
+uint64_t PackHint(PageNo page, size_t idx) {
+  return (static_cast<uint64_t>(page) << 32) | static_cast<uint32_t>(idx);
+}
+
 }  // namespace
 
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
-                       WriteObserver observer, uint32_t partitions)
+                       WriteObserver observer, uint32_t partitions,
+                       EvictionPolicyKind policy)
     : pager_(pager), capacity_(capacity_pages),
-      observer_(std::move(observer)) {
+      observer_(std::move(observer)), policy_kind_(policy) {
   assert(pager != nullptr);
   assert(capacity_pages >= 8);
   if (partitions == 0) partitions = AutoPartitions(capacity_pages);
+  // An explicit request is clamped to >= 8 frames per stripe (the
+  // B+-tree's transient pin budget).
   if (partitions > capacity_pages / 8) {
     partitions = static_cast<uint32_t>(capacity_pages / 8);
   }
@@ -38,10 +48,25 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages,
     // Distribute capacity evenly; early stripes absorb the remainder.
     const size_t n = capacity_ / partitions +
                      (p < capacity_ % partitions ? 1 : 0);
-    part->frames.resize(n);
+    part->frames = std::vector<Frame>(n);
     for (Frame& f : part->frames) f.data.resize(kBtreePageSize);
     part->free_frames.reserve(n);
     for (size_t i = n; i > 0; --i) part->free_frames.push_back(i - 1);
+    part->policy = MakeEvictionPolicy(policy, n);
+    part->policy->AttachFrameState(part.get());
+    latch_free_ops_ = part->policy->LatchFreeOps();
+    if (latch_free_ops_) {
+      // >= 4x frames, power of two: live hints stay <= 25% of the table
+      // and rebuilds cap tombstones at another 25%, so probes always
+      // terminate at an empty slot.
+      size_t cap = 16;
+      while (cap < 4 * n) cap *= 2;
+      part->hints = std::vector<std::atomic<uint64_t>>(cap);
+      for (auto& h : part->hints) {
+        h.store(kHintEmpty, std::memory_order_relaxed);
+      }
+      part->hint_mask = cap - 1;
+    }
     parts_.push_back(std::move(part));
   }
 }
@@ -54,7 +79,9 @@ size_t BufferPool::PinnedFrames() const {
   size_t n = 0;
   for (const auto& part : parts_) {
     std::lock_guard<std::mutex> lock(part->mu);
-    for (const Frame& f : part->frames) n += (f.pins > 0) ? 1 : 0;
+    for (const Frame& f : part->frames) {
+      n += (f.pins.load(std::memory_order_relaxed) & ~kEvicting) != 0 ? 1 : 0;
+    }
   }
   return n;
 }
@@ -62,8 +89,7 @@ size_t BufferPool::PinnedFrames() const {
 uint64_t BufferPool::hits() const {
   uint64_t n = 0;
   for (const auto& part : parts_) {
-    std::lock_guard<std::mutex> lock(part->mu);
-    n += part->hits;
+    n += part->hits.load(std::memory_order_relaxed);
   }
   return n;
 }
@@ -71,8 +97,7 @@ uint64_t BufferPool::hits() const {
 uint64_t BufferPool::misses() const {
   uint64_t n = 0;
   for (const auto& part : parts_) {
-    std::lock_guard<std::mutex> lock(part->mu);
-    n += part->misses;
+    n += part->misses.load(std::memory_order_relaxed);
   }
   return n;
 }
@@ -80,8 +105,7 @@ uint64_t BufferPool::misses() const {
 uint64_t BufferPool::evictions() const {
   uint64_t n = 0;
   for (const auto& part : parts_) {
-    std::lock_guard<std::mutex> lock(part->mu);
-    n += part->evictions;
+    n += part->evictions.load(std::memory_order_relaxed);
   }
   return n;
 }
@@ -89,114 +113,259 @@ uint64_t BufferPool::evictions() const {
 uint64_t BufferPool::write_backs() const {
   uint64_t n = 0;
   for (const auto& part : parts_) {
-    std::lock_guard<std::mutex> lock(part->mu);
-    n += part->write_backs;
+    n += part->write_backs.load(std::memory_order_relaxed);
   }
   return n;
 }
 
+uint64_t BufferPool::latch_acquisitions() const {
+  uint64_t n = 0;
+  for (const auto& part : parts_) {
+    n += part->latch_acquisitions.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+// --- Hint table (latch-free policies; writers under part.mu) -----------
+
+void BufferPool::HintInsert(Partition& part, PageNo page, size_t idx) {
+  if (part.hint_tombstones > part.hints.size() / 4) HintRebuild(part);
+  uint64_t s = SplitMix64(page) & part.hint_mask;
+  size_t tomb = static_cast<size_t>(-1);
+  for (;;) {
+    const uint64_t slot = part.hints[s].load(std::memory_order_relaxed);
+    if (slot == kHintEmpty) break;
+    if (slot == kHintTombstone) {
+      if (tomb == static_cast<size_t>(-1)) tomb = s;
+    } else if (static_cast<PageNo>(slot >> 32) == page) {
+      part.hints[s].store(PackHint(page, idx), std::memory_order_release);
+      return;
+    }
+    s = (s + 1) & part.hint_mask;
+  }
+  if (tomb != static_cast<size_t>(-1)) {
+    s = tomb;
+    --part.hint_tombstones;
+  }
+  part.hints[s].store(PackHint(page, idx), std::memory_order_release);
+}
+
+void BufferPool::HintErase(Partition& part, PageNo page) {
+  uint64_t s = SplitMix64(page) & part.hint_mask;
+  for (size_t probe = 0; probe <= part.hint_mask; ++probe) {
+    const uint64_t slot = part.hints[s].load(std::memory_order_relaxed);
+    if (slot == kHintEmpty) return;
+    if (slot != kHintTombstone && static_cast<PageNo>(slot >> 32) == page) {
+      part.hints[s].store(kHintTombstone, std::memory_order_release);
+      ++part.hint_tombstones;
+      return;
+    }
+    s = (s + 1) & part.hint_mask;
+  }
+}
+
+void BufferPool::HintRebuild(Partition& part) {
+  // Concurrent latch-free readers may transiently miss entries while the
+  // table is repopulated; they fall back to the latched path and block on
+  // part.mu, which we hold — correctness is unaffected.
+  for (auto& h : part.hints) h.store(kHintEmpty, std::memory_order_relaxed);
+  part.hint_tombstones = 0;
+  for (const auto& entry : part.page_to_frame) {
+    uint64_t s = SplitMix64(entry.first) & part.hint_mask;
+    while (part.hints[s].load(std::memory_order_relaxed) != kHintEmpty) {
+      s = (s + 1) & part.hint_mask;
+    }
+    part.hints[s].store(PackHint(entry.first, entry.second),
+                        std::memory_order_release);
+  }
+}
+
+// --- Latch-free hit path ------------------------------------------------
+
+uint8_t* BufferPool::TryLatchFreeHit(Partition& part, PageNo page) {
+  uint64_t s = SplitMix64(page) & part.hint_mask;
+  for (size_t probe = 0; probe <= part.hint_mask; ++probe) {
+    const uint64_t slot = part.hints[s].load(std::memory_order_acquire);
+    if (slot == kHintEmpty) return nullptr;
+    if (slot != kHintTombstone && static_cast<PageNo>(slot >> 32) == page) {
+      Frame& f = part.frames[static_cast<uint32_t>(slot)];
+      // Optimistic pin: claim a pin first, then validate. The acquire RMW
+      // synchronises with the frame's publishing release (the eviction
+      // claim's release or the hint store), so a validated frame's bytes
+      // are fully loaded.
+      const uint32_t old = f.pins.fetch_add(1, std::memory_order_acquire);
+      if ((old & kEvicting) != 0) {
+        // Mid-eviction/flush: back off; the latched path will resolve.
+        f.pins.fetch_sub(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+      if (f.page.load(std::memory_order_acquire) != page) {
+        // Stale hint: the frame was recycled. Undo the pin.
+        f.pins.fetch_sub(1, std::memory_order_release);
+        return nullptr;
+      }
+      f.ref.store(1, std::memory_order_relaxed);
+      part.hits.fetch_add(1, std::memory_order_relaxed);
+      return f.data.data();
+    }
+    s = (s + 1) & part.hint_mask;
+  }
+  return nullptr;
+}
+
+// --- Latched paths ------------------------------------------------------
+
 void BufferPool::WriteBack(Partition& part, size_t idx) {
   Frame& f = part.frames[idx];
-  assert(f.dirty);
-  pager_->Write(f.page, f.data.data());
-  f.dirty = false;
-  ++part.write_backs;
-  if (observer_) observer_(f.page);
+  assert(f.dirty.load(std::memory_order_relaxed));
+  const PageNo page = f.page.load(std::memory_order_relaxed);
+  pager_->Write(page, f.data.data());
+  f.dirty.store(false, std::memory_order_relaxed);
+  part.write_backs.fetch_add(1, std::memory_order_relaxed);
+  if (observer_) observer_(page);
 }
 
 size_t BufferPool::EvictOne(Partition& part) {
-  // Exhaustion (every frame in the stripe pinned) cannot be satisfied;
-  // fail loudly rather than invoke UB on the empty list in release
-  // builds. Auto-sizing keeps stripes >= 64 frames precisely so
-  // concurrent pins cannot get here.
-  if (part.lru.empty()) {
-    std::fprintf(stderr,
-                 "lss: buffer pool stripe exhausted: all %zu frames "
-                 "pinned; use fewer partitions or a larger pool\n",
-                 part.frames.size());
-    std::abort();
+  for (;;) {
+    const size_t idx = part.policy->PickVictim();
+    if (idx == EvictionPolicy::kNoVictim) {
+      // Exhaustion (every frame in the stripe pinned) cannot be
+      // satisfied; fail loudly rather than invoke UB in release builds.
+      // Auto-sizing keeps stripes >= 64 frames precisely so concurrent
+      // pins cannot get here.
+      std::fprintf(stderr,
+                   "lss: buffer pool stripe exhausted: all %zu frames "
+                   "pinned; use fewer partitions or a larger pool\n",
+                   part.frames.size());
+      std::abort();
+    }
+    Frame& f = part.frames[idx];
+    // Claim the frame exclusively: only a frame with zero pins may be
+    // evicted, and the claim blocks latch-free pins for its duration.
+    uint32_t expected = 0;
+    if (!f.pins.compare_exchange_strong(expected, kEvicting,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      // A latch-free pin won the race — the frame is hot again. Ask the
+      // policy for another victim (its hand advanced, so this makes
+      // progress). Unreachable for latched policies.
+      continue;
+    }
+    const PageNo page = f.page.load(std::memory_order_relaxed);
+    if (f.dirty.load(std::memory_order_relaxed)) WriteBack(part, idx);
+    part.page_to_frame.erase(page);
+    if (latch_free_ops_) HintErase(part, page);
+    part.policy->OnEvict(idx, page);
+    f.page.store(kInvalidPageNo, std::memory_order_relaxed);
+    part.evictions.fetch_add(1, std::memory_order_relaxed);
+    // The frame stays claimed (kEvicting) until FrameFor publishes its
+    // new page.
+    return idx;
   }
-  // Back of the LRU list = least recently used unpinned frame.
-  const size_t idx = part.lru.back();
-  part.lru.pop_back();
-  Frame& f = part.frames[idx];
-  f.in_lru = false;
-  if (f.dirty) WriteBack(part, idx);
-  part.page_to_frame.erase(f.page);
-  f.page = kInvalidPageNo;
-  ++part.evictions;
-  return idx;
 }
 
 size_t BufferPool::FrameFor(Partition& part, PageNo page,
                             bool load_from_pager) {
   auto it = part.page_to_frame.find(page);
   if (it != part.page_to_frame.end()) {
-    ++part.hits;
+    part.hits.fetch_add(1, std::memory_order_relaxed);
+    part.policy->OnHit(it->second);
+    part.frames[it->second].ref.store(1, std::memory_order_relaxed);
     return it->second;
   }
-  ++part.misses;
+  part.misses.fetch_add(1, std::memory_order_relaxed);
   size_t idx;
+  bool claimed = false;
   if (!part.free_frames.empty()) {
     idx = part.free_frames.back();
     part.free_frames.pop_back();
   } else {
     idx = EvictOne(part);
+    claimed = true;
   }
   Frame& f = part.frames[idx];
-  f.page = page;
-  f.pins = 0;
-  f.dirty = false;
-  f.in_lru = false;
+  f.page.store(page, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.ref.store(1, std::memory_order_relaxed);  // an insert is an access
   if (load_from_pager) pager_->Read(page, f.data.data());
   part.page_to_frame.emplace(page, idx);
+  part.policy->OnInsert(idx, page);
+  if (latch_free_ops_) HintInsert(part, page, idx);
+  if (claimed) {
+    // Release the eviction claim; transient latch-free pinners' +1s (all
+    // of which back off) are preserved. The release pairs with the
+    // acquire RMW in TryLatchFreeHit.
+    f.pins.fetch_sub(kEvicting, std::memory_order_release);
+  }
   return idx;
 }
 
 size_t BufferPool::PinLocked(Partition& part, PageNo page,
                              bool load_from_pager) {
   const size_t idx = FrameFor(part, page, load_from_pager);
-  Frame& f = part.frames[idx];
-  if (f.in_lru) {
-    part.lru.erase(f.lru_pos);
-    f.in_lru = false;
-  }
-  ++f.pins;
+  part.frames[idx].pins.fetch_add(1, std::memory_order_relaxed);
   return idx;
 }
 
 uint8_t* BufferPool::Pin(PageNo page) {
   Partition& part = PartitionFor(page);
+  if (latch_free_ops_) {
+    if (uint8_t* data = TryLatchFreeHit(part, page)) return data;
+  }
   std::lock_guard<std::mutex> lock(part.mu);
+  part.latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
   const size_t idx = PinLocked(part, page, /*load_from_pager=*/true);
   return part.frames[idx].data.data();
 }
 
 void BufferPool::Unpin(PageNo page, bool dirty) {
   Partition& part = PartitionFor(page);
+  if (latch_free_ops_) {
+    // The caller holds a pin, so the frame cannot be evicted and its
+    // hint cannot be erased; only a concurrent hint rebuild can hide it
+    // transiently, in which case the latched path below resolves.
+    uint64_t s = SplitMix64(page) & part.hint_mask;
+    for (size_t probe = 0; probe <= part.hint_mask; ++probe) {
+      const uint64_t slot = part.hints[s].load(std::memory_order_acquire);
+      if (slot == kHintEmpty) break;
+      if (slot != kHintTombstone &&
+          static_cast<PageNo>(slot >> 32) == page) {
+        Frame& f = part.frames[static_cast<uint32_t>(slot)];
+        if (f.page.load(std::memory_order_relaxed) != page) break;
+        // Publish the dirty mark before releasing the pin: the release
+        // decrement is what an eviction claim synchronises with.
+        if (dirty) f.dirty.store(true, std::memory_order_relaxed);
+        f.pins.fetch_sub(1, std::memory_order_release);
+        return;
+      }
+      s = (s + 1) & part.hint_mask;
+    }
+  }
   std::lock_guard<std::mutex> lock(part.mu);
+  part.latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
   auto it = part.page_to_frame.find(page);
   assert(it != part.page_to_frame.end() && "unpin of uncached page");
   Frame& f = part.frames[it->second];
-  assert(f.pins > 0);
-  f.dirty |= dirty;
-  if (--f.pins == 0) {
-    part.lru.push_front(it->second);
-    f.lru_pos = part.lru.begin();
-    f.in_lru = true;
-  }
+  const uint32_t pins = f.pins.load(std::memory_order_relaxed);
+  assert((pins & ~kEvicting) > 0);
+  (void)pins;
+  if (dirty) f.dirty.store(true, std::memory_order_relaxed);
+  const uint32_t old = f.pins.fetch_sub(1, std::memory_order_release);
+  if ((old & ~kEvicting) == 1) part.policy->OnUnpin(it->second);
+  return;
 }
 
 PageNo BufferPool::AllocatePinned(uint8_t** data_out) {
   const PageNo page = pager_->Allocate();
   Partition& part = PartitionFor(page);
   std::lock_guard<std::mutex> lock(part.mu);
+  part.latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
   const size_t idx = PinLocked(part, page, /*load_from_pager=*/false);
   Frame& f = part.frames[idx];
   std::fill(f.data.begin(), f.data.end(), 0);
   // A freshly allocated page must reach the pager eventually even if it
   // is never modified again.
-  f.dirty = true;
+  f.dirty.store(true, std::memory_order_relaxed);
   *data_out = f.data.data();
   return page;
 }
@@ -204,11 +373,22 @@ PageNo BufferPool::AllocatePinned(uint8_t** data_out) {
 void BufferPool::FlushAll() {
   for (auto& part : parts_) {
     std::lock_guard<std::mutex> lock(part->mu);
+    part->latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
     for (size_t i = 0; i < part->frames.size(); ++i) {
       Frame& f = part->frames[i];
-      if (f.page != kInvalidPageNo && f.dirty && f.pins == 0) {
-        WriteBack(*part, i);
+      if (f.page.load(std::memory_order_relaxed) == kInvalidPageNo) continue;
+      if (!f.dirty.load(std::memory_order_relaxed)) continue;
+      // Claim the frame for the write-back so a latch-free pinner cannot
+      // mutate its bytes mid-copy; a pinned frame is skipped (see class
+      // comment).
+      uint32_t expected = 0;
+      if (!f.pins.compare_exchange_strong(expected, kEvicting,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        continue;
       }
+      WriteBack(*part, i);
+      f.pins.fetch_sub(kEvicting, std::memory_order_release);
     }
   }
 }

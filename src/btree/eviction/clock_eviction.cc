@@ -1,0 +1,46 @@
+#include "btree/eviction/clock_eviction.h"
+
+#include <cassert>
+
+namespace lss {
+
+void ClockEvictionPolicy::OnInsert(size_t idx, PageNo page) {
+  // The pool gives every newly cached frame ref = 1 (an insert counts as
+  // an access), so a fresh page survives the hand's next pass. Nothing
+  // else to track.
+  (void)idx;
+  (void)page;
+}
+
+void ClockEvictionPolicy::OnEvict(size_t idx, PageNo page) {
+  (void)idx;
+  (void)page;
+}
+
+size_t ClockEvictionPolicy::PickVictim() {
+  assert(view_ != nullptr);
+  const size_t n = view_->frame_count();
+  // Two full revolutions suffice: the first clears every reference bit
+  // that is going to be cleared, so the second must find an unpinned,
+  // unreferenced frame if one exists. (Latch-free pins racing the sweep
+  // can re-set bits; the pool re-calls PickVictim in that case, and each
+  // call makes progress because the hand advances.)
+  for (size_t step = 0; step < 2 * n; ++step) {
+    const size_t idx = hand_;
+    hand_ = (hand_ + 1) % n;
+    if (view_->Pinned(idx)) continue;
+    if (view_->TestClearRef(idx)) continue;  // second chance
+    return idx;
+  }
+  // Hit storm: latch-free pins re-referenced every unpinned frame faster
+  // than the sweep cleared them. Force-pick the first unpinned frame so
+  // eviction always makes progress; kNoVictim only when all are pinned.
+  for (size_t step = 0; step < n; ++step) {
+    const size_t idx = hand_;
+    hand_ = (hand_ + 1) % n;
+    if (!view_->Pinned(idx)) return idx;
+  }
+  return kNoVictim;
+}
+
+}  // namespace lss

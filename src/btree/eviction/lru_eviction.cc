@@ -1,0 +1,40 @@
+#include "btree/eviction/lru_eviction.h"
+
+namespace lss {
+
+LruEvictionPolicy::LruEvictionPolicy(size_t frames)
+    : pos_(frames), in_lru_(frames, false) {}
+
+void LruEvictionPolicy::Remove(size_t idx) {
+  if (in_lru_[idx]) {
+    lru_.erase(pos_[idx]);
+    in_lru_[idx] = false;
+  }
+}
+
+void LruEvictionPolicy::OnInsert(size_t idx, PageNo page) {
+  // A freshly cached frame is pinned, so it stays out of the list until
+  // its first unpin.
+  (void)idx;
+  (void)page;
+}
+
+void LruEvictionPolicy::OnHit(size_t idx) { Remove(idx); }
+
+void LruEvictionPolicy::OnUnpin(size_t idx) {
+  lru_.push_front(idx);
+  pos_[idx] = lru_.begin();
+  in_lru_[idx] = true;
+}
+
+void LruEvictionPolicy::OnEvict(size_t idx, PageNo page) {
+  (void)page;
+  Remove(idx);
+}
+
+size_t LruEvictionPolicy::PickVictim() {
+  if (lru_.empty()) return kNoVictim;
+  return lru_.back();
+}
+
+}  // namespace lss

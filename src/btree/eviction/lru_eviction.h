@@ -1,0 +1,38 @@
+#ifndef LSS_BTREE_EVICTION_LRU_EVICTION_H_
+#define LSS_BTREE_EVICTION_LRU_EVICTION_H_
+
+#include <list>
+#include <vector>
+
+#include "btree/eviction_policy.h"
+
+namespace lss {
+
+/// Exact LRU, the pre-seam BufferPool behaviour extracted verbatim: a
+/// per-partition list of unpinned frames, most recent at the front. A hit
+/// splices the frame out of the list (under the latch — this is exactly
+/// the cost the CLOCK policy removes); an unpin to zero pins pushes it at
+/// the front; the victim is the back. The determinism test pins this
+/// policy, at one partition, to the pre-seam pool's write-back sequence.
+class LruEvictionPolicy : public EvictionPolicy {
+ public:
+  explicit LruEvictionPolicy(size_t frames);
+
+  std::string name() const override { return "lru"; }
+  void OnInsert(size_t idx, PageNo page) override;
+  void OnHit(size_t idx) override;
+  void OnUnpin(size_t idx) override;
+  void OnEvict(size_t idx, PageNo page) override;
+  size_t PickVictim() override;
+
+ private:
+  void Remove(size_t idx);
+
+  std::list<size_t> lru_;  // front = most recent; only unpinned frames
+  std::vector<std::list<size_t>::iterator> pos_;  // valid iff in_lru_[idx]
+  std::vector<bool> in_lru_;
+};
+
+}  // namespace lss
+
+#endif  // LSS_BTREE_EVICTION_LRU_EVICTION_H_

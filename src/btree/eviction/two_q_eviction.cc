@@ -1,0 +1,77 @@
+#include "btree/eviction/two_q_eviction.h"
+
+namespace lss {
+
+TwoQEvictionPolicy::TwoQEvictionPolicy(size_t frames)
+    : pos_(frames),
+      in_queue_(frames, false),
+      queue_(frames, Queue::kA1),
+      a1_target_(frames / 4 > 0 ? frames / 4 : 1),
+      ghost_limit_(frames / 2 > 0 ? frames / 2 : 1) {}
+
+void TwoQEvictionPolicy::Remove(size_t idx) {
+  if (in_queue_[idx]) {
+    (queue_[idx] == Queue::kA1 ? a1_ : am_).erase(pos_[idx]);
+    in_queue_[idx] = false;
+  }
+}
+
+void TwoQEvictionPolicy::RememberGhost(PageNo page) {
+  ghost_fifo_.push_front(page);
+  ghosts_[page] = ghost_fifo_.begin();
+  if (ghost_fifo_.size() > ghost_limit_) {
+    ghosts_.erase(ghost_fifo_.back());
+    ghost_fifo_.pop_back();
+  }
+}
+
+void TwoQEvictionPolicy::OnInsert(size_t idx, PageNo page) {
+  auto ghost = ghosts_.find(page);
+  if (ghost != ghosts_.end()) {
+    // A recently demoted probationer returned: that second reference is
+    // what 2Q rewards with a protected slot.
+    ghost_fifo_.erase(ghost->second);
+    ghosts_.erase(ghost);
+    queue_[idx] = Queue::kAm;
+  } else {
+    queue_[idx] = Queue::kA1;
+    ++a1_resident_;
+  }
+  // The frame is pinned; it enters its queue's list on first unpin.
+}
+
+void TwoQEvictionPolicy::OnHit(size_t idx) {
+  Remove(idx);
+  if (queue_[idx] == Queue::kA1) {
+    // Re-referenced while probationary: promote.
+    queue_[idx] = Queue::kAm;
+    --a1_resident_;
+  }
+}
+
+void TwoQEvictionPolicy::OnUnpin(size_t idx) {
+  std::list<size_t>& q = queue_[idx] == Queue::kA1 ? a1_ : am_;
+  q.push_front(idx);
+  pos_[idx] = q.begin();
+  in_queue_[idx] = true;
+}
+
+void TwoQEvictionPolicy::OnEvict(size_t idx, PageNo page) {
+  Remove(idx);
+  if (queue_[idx] == Queue::kA1) {
+    --a1_resident_;
+    RememberGhost(page);
+  }
+}
+
+size_t TwoQEvictionPolicy::PickVictim() {
+  // Drain the probationary FIFO down to its target before touching the
+  // protected set — this is the scan shield: flood pages queue up in A1
+  // and are recycled from its tail.
+  if (a1_resident_ > a1_target_ && !a1_.empty()) return a1_.back();
+  if (!am_.empty()) return am_.back();
+  if (!a1_.empty()) return a1_.back();
+  return kNoVictim;
+}
+
+}  // namespace lss

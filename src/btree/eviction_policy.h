@@ -1,0 +1,113 @@
+#ifndef LSS_BTREE_EVICTION_POLICY_H_
+#define LSS_BTREE_EVICTION_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "btree/page.h"
+
+namespace lss {
+
+/// Which replacement policy a BufferPool runs. Mirrors the cleaning-policy
+/// seam (core/cleaning_policy.h): the pool owns the frames and the latch;
+/// the policy owns the replacement decision.
+enum class EvictionPolicyKind : uint8_t {
+  /// Exact LRU, bit-for-bit the pre-seam pool: every hit splices the
+  /// frame out of a per-partition LRU list under the partition latch.
+  kExactLru = 0,
+  /// CLOCK / second-chance: a hit is a relaxed store to the frame's
+  /// reference bit — no latch, no list. The latch is taken only on
+  /// miss/eviction, where the clock hand sweeps for an unreferenced frame.
+  kClock = 1,
+  /// 2Q: new pages enter a probationary FIFO (A1in) and are promoted to a
+  /// protected LRU (Am) only on re-reference; a bounded ghost list (A1out)
+  /// remembers recently evicted probationers so their return promotes
+  /// directly. A one-pass scan churns through A1in without ever touching
+  /// the hot set in Am.
+  kTwoQ = 2,
+};
+
+/// The per-frame state a policy may inspect during victim selection,
+/// implemented by the pool's partition. CLOCK reads reference bits the
+/// latch-free hit path sets; list-based policies never need it.
+class FrameStateView {
+ public:
+  virtual ~FrameStateView() = default;
+
+  /// Frames in this partition.
+  virtual size_t frame_count() const = 0;
+
+  /// True if the frame is currently pinned (or mid-write-back). Stable
+  /// for latched policies; a conservative snapshot under CLOCK, where the
+  /// caller re-validates with a pin CAS anyway.
+  virtual bool Pinned(size_t idx) const = 0;
+
+  /// Returns the frame's reference bit and clears it (the second-chance
+  /// step of a clock sweep).
+  virtual bool TestClearRef(size_t idx) = 0;
+};
+
+/// Strategy interface for buffer-pool page replacement. One instance per
+/// pool partition; every method runs under that partition's latch, so
+/// implementations need no locking of their own. The latch-free hit path
+/// (see LatchFreeOps) bypasses the policy entirely: the pool records the
+/// access in the frame's atomic reference bit, which is the only signal a
+/// latch-free policy gets about hits.
+class EvictionPolicy {
+ public:
+  /// PickVictim result when every frame is pinned.
+  static constexpr size_t kNoVictim = static_cast<size_t>(-1);
+
+  virtual ~EvictionPolicy() = default;
+
+  /// Policy name as selected by ParseEvictionPolicy ("lru", "clock", "2q").
+  virtual std::string name() const = 0;
+
+  /// True when the policy needs no bookkeeping on hit or unpin, so the
+  /// pool may serve cache hits (and unpins) without the partition latch.
+  /// The pool then maintains frame reference bits in its hit path and the
+  /// policy consumes them in PickVictim.
+  virtual bool LatchFreeOps() const { return false; }
+
+  /// `page` was cached into frame `idx` (frame is pinned by the caller).
+  virtual void OnInsert(size_t idx, PageNo page) = 0;
+
+  /// Latched hit on the resident frame `idx` (it is about to gain a pin;
+  /// it may already be pinned). Not called on latch-free hits.
+  virtual void OnHit(size_t idx) = 0;
+
+  /// Frame `idx`'s pin count dropped to zero (it becomes evictable). Not
+  /// called by latch-free unpins.
+  virtual void OnUnpin(size_t idx) = 0;
+
+  /// Frame `idx`, holding `page`, was chosen for eviction and is leaving
+  /// the cache.
+  virtual void OnEvict(size_t idx, PageNo page) = 0;
+
+  /// Chooses an evictable frame, or kNoVictim when nothing is evictable
+  /// (every frame pinned). Latched policies must only return frames they
+  /// know are unpinned; CLOCK may return a best-effort candidate that the
+  /// pool re-validates (and re-calls on a race with a latch-free pin).
+  virtual size_t PickVictim() = 0;
+
+  /// Gives the policy its partition's frame-state view. Called once by
+  /// the pool before use; only CLOCK keeps the pointer.
+  virtual void AttachFrameState(FrameStateView* view) { (void)view; }
+};
+
+/// Builds a policy instance for one partition of `frames` frames.
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                   size_t frames);
+
+/// "lru" | "clock" | "2q" (case-sensitive; the LSS_BENCH_POOL spellings).
+/// Returns false and leaves *out alone on an unknown name.
+bool ParseEvictionPolicy(const std::string& name, EvictionPolicyKind* out);
+
+/// Inverse of ParseEvictionPolicy.
+std::string EvictionPolicyName(EvictionPolicyKind kind);
+
+}  // namespace lss
+
+#endif  // LSS_BTREE_EVICTION_POLICY_H_

@@ -15,6 +15,15 @@ namespace {
 /// thread that can trigger a write-back registers itself first.
 thread_local Trace* tls_trace = nullptr;
 
+void CapturePoolCounters(const TpccDb& db, TpccTraceResult* result) {
+  const BufferPool& pool = db.pool();
+  result->pool_hits = pool.hits();
+  result->pool_misses = pool.misses();
+  result->pool_evictions = pool.evictions();
+  result->pool_write_backs = pool.write_backs();
+  result->pool_latch_acquisitions = pool.latch_acquisitions();
+}
+
 /// Stable merge: record i of every buffer, buffers in worker order, for
 /// i = 0, 1, ... — a deterministic function of the buffer contents that
 /// approximates the temporal interleaving of threads progressing at
@@ -61,6 +70,7 @@ TpccTraceResult GenerateSerial(const TpccConfig& config, uint64_t warm_txns,
   db.Checkpoint();
   result.pages_final = db.PageCount();
   result.transactions = warm_txns + measure_txns;
+  CapturePoolCounters(db, &result);
   return result;
 }
 
@@ -144,6 +154,7 @@ TpccTraceResult GenerateParallel(const TpccConfig& config,
   tls_trace = nullptr;
   result.pages_final = db.PageCount();
   result.transactions = warm_txns + measure_txns;
+  CapturePoolCounters(db, &result);
   return result;
 }
 
@@ -151,13 +162,18 @@ TpccTraceResult GenerateParallel(const TpccConfig& config,
 
 TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
                                   uint64_t warm_txns, uint64_t measure_txns,
-                                  uint64_t checkpoint_every) {
+                                  uint64_t checkpoint_every,
+                                  uint32_t presplit_shards) {
   const auto t0 = std::chrono::steady_clock::now();
   TpccTraceResult result =
       (config.workers <= 1 || config.warehouses <= 1)
           ? GenerateSerial(config, warm_txns, measure_txns, checkpoint_every)
           : GenerateParallel(config, warm_txns, measure_txns,
                              checkpoint_every);
+  if (presplit_shards > 0) {
+    result.presplit =
+        SplitTrace(result.trace, result.measure_from, presplit_shards);
+  }
   result.generation_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -14,7 +14,7 @@ namespace lss::tpcc {
 /// keys (bench/fig6_tpcc.cc's $TMPDIR trace cache) must mix this in so
 /// stale cached traces regenerate instead of silently replaying old
 /// data.
-inline constexpr uint32_t kTpccTraceFormatVersion = 2;
+inline constexpr uint32_t kTpccTraceFormatVersion = 3;
 
 /// Output of a TPC-C trace-collection run (the paper's §6.3 pipeline:
 /// run TPC-C on the B+-tree engine, collect page-write I/O, then replay
@@ -37,6 +37,20 @@ struct TpccTraceResult {
   uint32_t workers = 1;
   /// Wall-clock seconds spent generating (populate + all transactions).
   double generation_seconds = 0.0;
+
+  /// Buffer-pool behaviour over the whole generation run (population
+  /// through final checkpoint) — how well the cache absorbed the
+  /// workload under config.pool_policy. Surfaced by fig6_tpcc's JSON.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_write_backs = 0;
+  uint64_t pool_latch_acquisitions = 0;
+
+  /// Pre-split replay feeds (empty unless requested): sub-trace per
+  /// replay shard, computed once here so every replay of a cached trace
+  /// takes ReplayTraceParallel's zero-router fast path.
+  ShardedTrace presplit;
 };
 
 /// Populates a TPC-C database and runs `warm_txns + measure_txns`
@@ -58,9 +72,15 @@ struct TpccTraceResult {
 /// generation is *not* bit-reproducible run to run — downstream replay
 /// is a pure function of the trace, which is why benches cache the
 /// generated trace on disk.
+///
+/// `presplit_shards` > 0 additionally splits the finished trace into
+/// that many per-shard sub-traces (SplitTrace), stored in
+/// result.presplit; benches cache the split alongside the trace so
+/// parallel replays never pay router work.
 TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
                                   uint64_t warm_txns, uint64_t measure_txns,
-                                  uint64_t checkpoint_every = 0);
+                                  uint64_t checkpoint_every = 0,
+                                  uint32_t presplit_shards = 0);
 
 }  // namespace lss::tpcc
 

@@ -331,10 +331,83 @@ RunResult RunTrace(const StoreConfig& config, Variant variant,
   return r;
 }
 
+namespace {
+
+// Zero-router fast path: each shard thread streams its pre-split
+// sub-trace. A barrier at the measurement boundary replaces the router's
+// in-band reset markers: every shard finishes its warm-up records, the
+// last arrival stamps t0, then all shards reset counters and apply their
+// measured suffix. Per-shard record subsequences are exactly the
+// router's, so stats and final state match it bit-for-bit.
+Status ReplayPresplitParallel(ShardedStore* store, const ShardedTrace& st,
+                              double* measure_seconds_out) {
+  const uint32_t shards = store->num_shards();
+  std::vector<Status> statuses(shards);
+  std::mutex mu;
+  std::condition_variable cv;
+  uint32_t arrived = 0;
+  std::chrono::steady_clock::time_point t0{};
+
+  auto shard_fn = [&](uint32_t s) {
+    const auto& recs = st.sub[s].records();
+    const size_t boundary = std::min(st.measure_from[s], recs.size());
+    auto apply = [&](size_t begin, size_t end) -> Status {
+      for (size_t i = begin; i < end; ++i) {
+        const TraceRecord& rec = recs[i];
+        Status r;
+        if (rec.op == TraceRecord::Op::kWrite) {
+          r = store->Write(rec.page, rec.bytes);
+        } else {
+          r = store->Delete(rec.page);
+          if (r.code() == Status::Code::kNotFound) r = Status::OK();
+        }
+        if (!r.ok()) return r;
+      }
+      return Status::OK();
+    };
+    statuses[s] = apply(0, boundary);
+    {
+      // Always arrive, even after a failure — a missing arrival would
+      // deadlock the other shards.
+      std::unique_lock<std::mutex> lk(mu);
+      if (++arrived == shards) {
+        t0 = std::chrono::steady_clock::now();
+        cv.notify_all();
+      } else {
+        cv.wait(lk, [&] { return arrived == shards; });
+      }
+    }
+    store->WithShardLocked(s,
+                           [](StoreShard& shard) { shard.ResetMeasurement(); });
+    if (statuses[s].ok()) statuses[s] = apply(boundary, recs.size());
+  };
+
+  Status s = RunOnThreads(shards, [&](uint32_t t) -> Status {
+    shard_fn(t);
+    return Status::OK();
+  });
+  (void)s;
+  if (measure_seconds_out != nullptr) {
+    *measure_seconds_out =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  for (const Status& st_s : statuses) {
+    if (!st_s.ok()) return st_s;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status ReplayTraceParallel(ShardedStore* store, const Trace& trace,
                            size_t measure_from,
-                           double* measure_seconds_out) {
+                           double* measure_seconds_out,
+                           const ShardedTrace* presplit) {
   const uint32_t shards = store->num_shards();
+  if (presplit != nullptr && presplit->Valid() && presplit->shards == shards) {
+    return ReplayPresplitParallel(store, *presplit, measure_seconds_out);
+  }
   const auto& recs = trace.records();
   measure_from = std::min(measure_from, recs.size());
 
@@ -435,7 +508,8 @@ Status ReplayTraceParallel(ShardedStore* store, const Trace& trace,
 
 ParallelRunResult RunTraceParallel(const StoreConfig& config, Variant variant,
                                    const Trace& trace, size_t measure_from,
-                                   uint32_t shards) {
+                                   uint32_t shards,
+                                   const ShardedTrace* presplit) {
   const std::string label = VariantName(variant);
   if (shards < 1) shards = 1;
   StoreConfig cfg = config;
@@ -456,7 +530,7 @@ ParallelRunResult RunTraceParallel(const StoreConfig& config, Variant variant,
 
   double measure_seconds = 0.0;
   Status s = ReplayTraceParallel(store.get(), trace, measure_from,
-                                 &measure_seconds);
+                                 &measure_seconds, presplit);
   if (!s.ok()) return FailParallel(s, label, shards, shards);
 
   const StoreStats total = store->AggregatedStats();

@@ -134,20 +134,32 @@ RunResult RunTrace(const StoreConfig& config, Variant variant,
 /// still in flight then are bounded by the queue depth) and ends when
 /// the last shard drains, giving the updates_per_second throughput
 /// numbers alongside RunSyntheticParallel's.
+///
+/// `presplit` (optional) is a ShardedTrace computed once by SplitTrace —
+/// when its shard count matches, replay takes the zero-router fast path:
+/// each shard thread streams its own pre-split sub-trace directly, with
+/// no routing work, no queue hand-offs and no backpressure stalls. The
+/// per-shard record subsequences are identical to what the router would
+/// deliver, so results are bit-for-bit the same (the parity test pins
+/// this); only the measurement clock differs — the fast path starts it
+/// at a clean barrier once every shard has applied its warm-up records.
 ParallelRunResult RunTraceParallel(const StoreConfig& config, Variant variant,
                                    const Trace& trace, size_t measure_from,
-                                   uint32_t shards);
+                                   uint32_t shards,
+                                   const ShardedTrace* presplit = nullptr);
 
 /// The replay engine under RunTraceParallel, operating on a
 /// caller-created store (which the caller can then inspect — the
 /// determinism tests compare per-page final state against a serial
-/// replay). Runs router + per-shard replay threads as described above;
+/// replay). Runs router + per-shard replay threads as described above
+/// (or the pre-split fast path when `presplit` matches);
 /// `measure_seconds_out` (optional) receives the wall-clock time from
 /// the measure_from boundary to the last shard draining. Returns the
 /// first store error.
 Status ReplayTraceParallel(ShardedStore* store, const Trace& trace,
                            size_t measure_from,
-                           double* measure_seconds_out = nullptr);
+                           double* measure_seconds_out = nullptr,
+                           const ShardedTrace* presplit = nullptr);
 
 /// Convenience: a StoreConfig scaled so that `user_pages` occupy fill
 /// factor `f` of the device, with trigger/batch/buffer kept at the

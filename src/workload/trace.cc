@@ -1,6 +1,9 @@
 #include "workload/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "core/store_shard.h"
 
 namespace lss {
 
@@ -96,6 +99,24 @@ bool Trace::LoadFrom(const std::string& path) {
   std::fclose(f);
   if (!ok) records_.clear();
   return ok;
+}
+
+ShardedTrace SplitTrace(const Trace& trace, size_t measure_from,
+                        uint32_t shards) {
+  if (shards < 1) shards = 1;
+  const auto& recs = trace.records();
+  measure_from = std::min(measure_from, recs.size());
+
+  ShardedTrace out;
+  out.shards = shards;
+  out.sub.resize(shards);
+  out.measure_from.resize(shards, 0);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const uint32_t s = PageShard(recs[i].page, shards);
+    if (i < measure_from) out.measure_from[s] = out.sub[s].Size() + 1;
+    out.sub[s].Append(recs[i]);
+  }
+  return out;
 }
 
 }  // namespace lss

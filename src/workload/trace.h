@@ -56,6 +56,31 @@ class Trace {
   std::vector<TraceRecord> records_;
 };
 
+/// A trace pre-split by replay shard: sub-trace `s` holds exactly the
+/// subsequence of records that PageShard routes to shard `s`, in trace
+/// order, with the measure_from boundary translated into each
+/// subsequence. Splitting once at generation time lets every parallel
+/// replay of the same trace skip the router entirely
+/// (ReplayTraceParallel's fast path): shard threads stream their own
+/// sub-trace with zero routing work or queue hand-offs.
+struct ShardedTrace {
+  uint32_t shards = 0;  // 0 = not split
+  std::vector<Trace> sub;
+  /// Per-shard index of the first measured record in `sub[s]` (== that
+  /// sub-trace's size when every routed record precedes the boundary).
+  std::vector<size_t> measure_from;
+
+  bool Valid() const {
+    return shards > 0 && sub.size() == shards &&
+           measure_from.size() == shards;
+  }
+};
+
+/// Splits `trace` for `shards`-way replay (PageShard routing, the same
+/// function ReplayTraceParallel's router applies record by record).
+ShardedTrace SplitTrace(const Trace& trace, size_t measure_from,
+                        uint32_t shards);
+
 }  // namespace lss
 
 #endif  // LSS_WORKLOAD_TRACE_H_

@@ -2,7 +2,11 @@
 
 #include <atomic>
 #include <cstring>
+#include <deque>
+#include <list>
+#include <map>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -216,6 +220,225 @@ TEST(BufferPoolTest, PageRefMoveTransfersOwnership) {
   EXPECT_EQ(pool.PinnedFrames(), 0u);
 }
 
+TEST(BufferPoolTest, AutoPartitionFloor) {
+  Pager pager;
+  // Auto-partitioning never creates a stripe of fewer than 64 frames, so
+  // every capacity below 128 — including the asserted minimum of 8 —
+  // runs as exactly one partition (a single exact cache).
+  for (size_t capacity = 8; capacity < 128; ++capacity) {
+    EXPECT_EQ(BufferPool(&pager, capacity).partitions(), 1u)
+        << "capacity " << capacity;
+  }
+  EXPECT_EQ(BufferPool(&pager, 128).partitions(), 2u);
+}
+
+// Reference model of the pre-seam pool (exact LRU, one partition): the
+// policy-seam refactor must reproduce its observable behaviour —
+// write-back order and all counters — bit for bit.
+class LruReferenceModel {
+ public:
+  explicit LruReferenceModel(size_t capacity) : capacity_(capacity) {
+    // Free frames are handed out lowest-index first.
+    for (size_t i = 0; i < capacity; ++i) free_.push_back(capacity - 1 - i);
+  }
+
+  void Pin(PageNo page) {
+    auto it = resident_.find(page);
+    if (it != resident_.end()) {
+      ++hits;
+      lru_.remove(page);
+      ++it->second.pins;
+      return;
+    }
+    ++misses;
+    size_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      const PageNo victim = lru_.back();
+      lru_.pop_back();
+      Entry& v = resident_[victim];
+      if (v.dirty) writes.push_back(victim);
+      idx = v.frame;
+      resident_.erase(victim);
+      ++evictions;
+    }
+    resident_[page] = Entry{idx, 1, false};
+  }
+
+  void Unpin(PageNo page, bool dirty) {
+    Entry& e = resident_[page];
+    e.dirty |= dirty;
+    if (--e.pins == 0) lru_.push_front(page);
+  }
+
+  void FlushAll() {
+    // Frame-index order, dirty unpinned frames only.
+    std::map<size_t, PageNo> by_frame;
+    for (const auto& [page, e] : resident_) by_frame[e.frame] = page;
+    for (const auto& [idx, page] : by_frame) {
+      (void)idx;
+      Entry& e = resident_[page];
+      if (e.dirty && e.pins == 0) {
+        writes.push_back(page);
+        e.dirty = false;
+      }
+    }
+  }
+
+  std::vector<PageNo> writes;
+  uint64_t hits = 0, misses = 0, evictions = 0;
+
+ private:
+  struct Entry {
+    size_t frame = 0;
+    uint32_t pins = 0;
+    bool dirty = false;
+  };
+  size_t capacity_;
+  std::unordered_map<PageNo, Entry> resident_;
+  std::list<PageNo> lru_;      // front = MRU; unpinned pages only
+  std::vector<size_t> free_;   // pop_back yields lowest index first
+};
+
+TEST(BufferPoolTest, ExactLruMatchesReferenceModel) {
+  constexpr size_t kCapacity = 16;
+  constexpr PageNo kPages = 40;
+  constexpr int kOps = 20000;
+
+  Pager pager;
+  std::vector<PageNo> pool_writes;
+  BufferPool pool(&pager, kCapacity,
+                  [&](PageNo p) { pool_writes.push_back(p); },
+                  /*partitions=*/1, EvictionPolicyKind::kExactLru);
+  LruReferenceModel model(kCapacity);
+  for (PageNo p = 0; p < kPages; ++p) pager.Allocate();
+
+  // A deterministic stream of overlapping pins, dirtying half of them,
+  // with periodic checkpoints.
+  std::deque<PageNo> held;
+  uint64_t x = 12345;
+  for (int i = 0; i < kOps; ++i) {
+    x = SplitMix64(x);
+    const PageNo p = static_cast<PageNo>(x % kPages);
+    pool.Pin(p);
+    model.Pin(p);
+    held.push_back(p);
+    if (held.size() > 3) {
+      x = SplitMix64(x);
+      const bool dirty = (x & 1) != 0;
+      pool.Unpin(held.front(), dirty);
+      model.Unpin(held.front(), dirty);
+      held.pop_front();
+    }
+    if ((i % 1024) == 1023) {
+      pool.FlushAll();
+      model.FlushAll();
+    }
+  }
+  while (!held.empty()) {
+    pool.Unpin(held.front(), false);
+    model.Unpin(held.front(), false);
+    held.pop_front();
+  }
+  pool.FlushAll();
+  model.FlushAll();
+
+  EXPECT_EQ(pool_writes, model.writes);
+  EXPECT_EQ(pool.hits(), model.hits);
+  EXPECT_EQ(pool.misses(), model.misses);
+  EXPECT_EQ(pool.evictions(), model.evictions);
+  EXPECT_EQ(pool.write_backs(), model.writes.size());
+}
+
+TEST(BufferPoolTest, TwoQSurvivesScanFlood) {
+  // A promoted hot set must survive a one-pass sequential flood under
+  // 2Q; under exact LRU the same flood purges it completely.
+  constexpr size_t kCapacity = 64;
+  constexpr PageNo kHot = 16;
+  constexpr PageNo kFloodPages = 2000;
+
+  for (EvictionPolicyKind kind :
+       {EvictionPolicyKind::kTwoQ, EvictionPolicyKind::kExactLru}) {
+    Pager pager;
+    BufferPool pool(&pager, kCapacity, nullptr, /*partitions=*/1, kind);
+    for (PageNo p = 0; p < kHot + kFloodPages; ++p) pager.Allocate();
+
+    // Two passes over the hot set: the second reference is what 2Q
+    // rewards with a protected (Am) slot.
+    for (int round = 0; round < 2; ++round) {
+      for (PageNo p = 0; p < kHot; ++p) {
+        pool.Pin(p);
+        pool.Unpin(p, false);
+      }
+    }
+    // One-pass flood, far larger than the pool.
+    for (PageNo p = kHot; p < kHot + kFloodPages; ++p) {
+      pool.Pin(p);
+      pool.Unpin(p, false);
+    }
+    const uint64_t hits_before = pool.hits();
+    for (PageNo p = 0; p < kHot; ++p) {
+      pool.Pin(p);
+      pool.Unpin(p, false);
+    }
+    const uint64_t hot_hits = pool.hits() - hits_before;
+    if (kind == EvictionPolicyKind::kTwoQ) {
+      EXPECT_EQ(hot_hits, kHot) << "2Q lost its protected set to a scan";
+    } else {
+      EXPECT_EQ(hot_hits, 0u) << "LRU unexpectedly survived the scan";
+    }
+  }
+}
+
+TEST(BufferPoolTest, ClockHitsAreLatchFree) {
+  Pager pager;
+  BufferPool pool(&pager, 64, nullptr, /*partitions=*/1,
+                  EvictionPolicyKind::kClock);
+  std::vector<PageNo> pages;
+  for (int i = 0; i < 32; ++i) pages.push_back(pager.Allocate());
+  for (PageNo p : pages) {
+    pool.Pin(p);
+    pool.Unpin(p, false);
+  }
+  // Pure hits: pin and unpin must both bypass the partition latch.
+  const uint64_t latches = pool.latch_acquisitions();
+  const uint64_t hits = pool.hits();
+  for (int round = 0; round < 50; ++round) {
+    for (PageNo p : pages) {
+      pool.Pin(p);
+      pool.Unpin(p, false);
+    }
+  }
+  EXPECT_EQ(pool.hits(), hits + 50 * pages.size());
+  EXPECT_EQ(pool.latch_acquisitions(), latches);
+}
+
+TEST(BufferPoolTest, ClockWriteBacksSurviveEviction) {
+  // Same zero-loss write-back contract as LRU, under CLOCK's claim-based
+  // eviction: every dirtied page's final value must be readable after
+  // churn evicts it.
+  Pager pager;
+  BufferPool pool(&pager, 8, nullptr, /*partitions=*/1,
+                  EvictionPolicyKind::kClock);
+  std::vector<PageNo> pages;
+  for (int i = 0; i < 32; ++i) {
+    uint8_t* d = nullptr;
+    const PageNo p = pool.AllocatePinned(&d);
+    std::memcpy(d, &p, sizeof(p));
+    pool.Unpin(p, true);
+    pages.push_back(p);
+  }
+  pool.FlushAll();
+  for (PageNo p : pages) {
+    PageRef ref(&pool, p);
+    PageNo stamp = 0;
+    std::memcpy(&stamp, ref.data(), sizeof(stamp));
+    EXPECT_EQ(stamp, p);
+  }
+}
+
 // --- Concurrency (runs under TSan via scripts/check.sh --tsan) ----------
 
 TEST(BufferPoolParallelTest, ConcurrentPinUnpinStress) {
@@ -343,6 +566,94 @@ TEST(BufferPoolParallelTest, ConcurrentAllocatePinned) {
     }
   }
   EXPECT_EQ(pager.PageCount(), kThreads * kPerThread);
+}
+
+TEST(BufferPoolParallelTest, ClockConcurrentHitStress) {
+  // The CLOCK latch-free hit path under fire: threads race lock-free
+  // pins/unpins on a shared hot set against evictions (capacity is half
+  // the working set) and periodic FlushAll claims. Run under TSan; the
+  // per-thread counter pages also make any lost update visible.
+  constexpr uint32_t kThreads = 8;
+  constexpr int kItersPerThread = 4000;
+  constexpr PageNo kOwnPages = 24;  // per thread
+  constexpr PageNo kSharedPages = 64;
+
+  Pager pager;
+  std::atomic<uint64_t> observed{0};
+  BufferPool pool(&pager, 128, [&](PageNo) { ++observed; },
+                  /*partitions=*/8, EvictionPolicyKind::kClock);
+
+  std::vector<PageNo> shared;
+  for (PageNo i = 0; i < kSharedPages; ++i) {
+    uint8_t* d = nullptr;
+    const PageNo p = pool.AllocatePinned(&d);
+    std::memcpy(d, &p, sizeof(p));
+    pool.Unpin(p, true);
+    shared.push_back(p);
+  }
+  std::vector<std::vector<PageNo>> own(kThreads);
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    for (PageNo i = 0; i < kOwnPages; ++i) {
+      uint8_t* d = nullptr;
+      const PageNo p = pool.AllocatePinned(&d);
+      pool.Unpin(p, true);
+      own[t].push_back(p);
+    }
+  }
+  pool.FlushAll();
+
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t x = t * 0x9E3779B97F4A7C15ull + 1;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        x = SplitMix64(x);
+        if ((x & 1) == 0) {
+          const PageNo p = shared[x % kSharedPages];
+          PageRef ref(&pool, p);
+          PageNo stamp = 0;
+          std::memcpy(&stamp, ref.data(), sizeof(stamp));
+          ASSERT_EQ(stamp, p);
+        } else {
+          const PageNo p = own[t][x % kOwnPages];
+          PageRef ref(&pool, p);
+          uint64_t count = 0;
+          std::memcpy(&count, ref.data(), sizeof(count));
+          ++count;
+          std::memcpy(ref.data(), &count, sizeof(count));
+          ref.MarkDirty();
+        }
+        if (t == 0 && (i % 512) == 511) pool.FlushAll();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+  pool.FlushAll();
+  EXPECT_EQ(pool.write_backs(), observed.load());
+
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    uint64_t sum = 0;
+    for (PageNo p : own[t]) {
+      PageRef ref(&pool, p);
+      uint64_t count = 0;
+      std::memcpy(&count, ref.data(), sizeof(count));
+      sum += count;
+    }
+    uint64_t expected = 0;
+    uint64_t x = t * 0x9E3779B97F4A7C15ull + 1;
+    for (int i = 0; i < kItersPerThread; ++i) {
+      x = SplitMix64(x);
+      if ((x & 1) != 0) ++expected;
+    }
+    EXPECT_EQ(sum, expected) << "thread " << t;
+  }
+  // The shared hot set sees sustained hits; misses still occur (the pool
+  // is half the working set), but the hit path must dominate latch
+  // traffic: far fewer latch acquisitions than operations.
+  EXPECT_GT(pool.hits(), 0u);
+  EXPECT_LT(pool.latch_acquisitions(), pool.hits() + pool.misses());
 }
 
 }  // namespace

@@ -255,6 +255,45 @@ TEST(RunnerTest, TraceReplayParallelPreservesPerPageOrder) {
   EXPECT_TRUE(parallel->CheckInvariants().ok());
 }
 
+TEST(RunnerTest, TraceReplayParallelPresplitMatchesRouterPath) {
+  // The pre-split fast path skips the per-record shard router but must
+  // feed every shard the identical record subsequence, so replaying the
+  // same trace with and without a ShardedTrace must agree bit for bit —
+  // aggregate stats and per-shard Wamp alike.
+  const StoreConfig base = TestConfig();
+  const uint32_t shards = 4;
+  Trace t;
+  const size_t measure_from =
+      BuildReplayTrace(base.UserPagesForFillFactor(0.6), &t);
+  const ParallelRunResult routed =
+      RunTraceParallel(base, Variant::kMdc, t, measure_from, shards);
+  ASSERT_TRUE(routed.result.status.ok()) << routed.result.status.ToString();
+
+  const ShardedTrace presplit = SplitTrace(t, measure_from, shards);
+  ASSERT_TRUE(presplit.Valid());
+  const ParallelRunResult fast = RunTraceParallel(base, Variant::kMdc, t,
+                                                  measure_from, shards,
+                                                  &presplit);
+  ASSERT_TRUE(fast.result.status.ok()) << fast.result.status.ToString();
+
+  EXPECT_DOUBLE_EQ(fast.result.wamp, routed.result.wamp);
+  EXPECT_EQ(fast.result.measured_updates, routed.result.measured_updates);
+  EXPECT_DOUBLE_EQ(fast.result.mean_clean_emptiness,
+                   routed.result.mean_clean_emptiness);
+  EXPECT_DOUBLE_EQ(fast.result.effective_fill, routed.result.effective_fill);
+  ASSERT_EQ(fast.shard_wamp.size(), routed.shard_wamp.size());
+  for (size_t s = 0; s < fast.shard_wamp.size(); ++s) {
+    EXPECT_DOUBLE_EQ(fast.shard_wamp[s], routed.shard_wamp[s])
+        << "shard " << s;
+  }
+  // A shard-count mismatch must fall back to the router, not misroute.
+  const ShardedTrace wrong = SplitTrace(t, measure_from, shards / 2);
+  const ParallelRunResult fallback = RunTraceParallel(
+      base, Variant::kMdc, t, measure_from, shards, &wrong);
+  ASSERT_TRUE(fallback.result.status.ok());
+  EXPECT_DOUBLE_EQ(fallback.result.wamp, routed.result.wamp);
+}
+
 TEST(RunnerTest, TraceReplayParallelHandlesDeletesAndOracle) {
   const StoreConfig base = TestConfig();
   Trace t;

@@ -2,8 +2,12 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "core/store_shard.h"
+#include "util/rng.h"
 
 namespace lss {
 namespace {
@@ -96,6 +100,79 @@ TEST(TraceTest, DeletesIgnoredInFrequencies) {
   t.AppendDelete(0);
   auto freq = t.ComputeExactFrequencies(0, t.Size());
   EXPECT_NEAR(freq[0], 1.0, 1e-9);
+}
+
+TEST(SplitTraceTest, PartitionsByShardPreservingOrder) {
+  Trace t;
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const PageId p = rng.NextBounded(300);
+    if (rng.NextBool(0.05)) {
+      t.AppendDelete(p);
+    } else {
+      t.AppendWrite(p, 100 + (i % 7));
+    }
+  }
+  const uint32_t shards = 4;
+  const size_t measure_from = 1200;
+  const ShardedTrace st = SplitTrace(t, measure_from, shards);
+  ASSERT_TRUE(st.Valid());
+  ASSERT_EQ(st.shards, shards);
+  ASSERT_EQ(st.sub.size(), shards);
+  ASSERT_EQ(st.measure_from.size(), shards);
+
+  // Replaying the original trace through the router must visit each
+  // sub-trace's records in exactly their stored order, and the per-shard
+  // measure boundary must count exactly the prefix records routed there.
+  std::vector<size_t> cursor(shards, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < t.Size(); ++i) {
+    const TraceRecord& r = t.records()[i];
+    const uint32_t s = PageShard(r.page, shards);
+    ASSERT_LT(cursor[s], st.sub[s].Size());
+    const TraceRecord& got = st.sub[s].records()[cursor[s]];
+    ASSERT_EQ(got.op, r.op) << "record " << i;
+    ASSERT_EQ(got.page, r.page) << "record " << i;
+    ASSERT_EQ(got.bytes, r.bytes) << "record " << i;
+    ++cursor[s];
+    if (i + 1 == measure_from) {
+      for (uint32_t q = 0; q < shards; ++q) {
+        EXPECT_EQ(st.measure_from[q], cursor[q]) << "shard " << q;
+      }
+    }
+  }
+  for (uint32_t s = 0; s < shards; ++s) {
+    EXPECT_EQ(cursor[s], st.sub[s].Size()) << "shard " << s;
+    total += st.sub[s].Size();
+  }
+  EXPECT_EQ(total, t.Size());
+}
+
+TEST(SplitTraceTest, SingleShardIsIdentity) {
+  Trace t;
+  for (PageId p = 0; p < 20; ++p) t.AppendWrite(p);
+  const ShardedTrace st = SplitTrace(t, 5, 1);
+  ASSERT_TRUE(st.Valid());
+  ASSERT_EQ(st.sub.size(), 1u);
+  EXPECT_EQ(st.sub[0].Size(), t.Size());
+  EXPECT_EQ(st.measure_from[0], 5u);
+}
+
+TEST(SplitTraceTest, MeasureBoundaryEdges) {
+  Trace t;
+  for (PageId p = 0; p < 40; ++p) t.AppendWrite(p);
+  // measure_from == 0: every shard measures from its first record.
+  const ShardedTrace all = SplitTrace(t, 0, 4);
+  for (uint32_t s = 0; s < 4; ++s) EXPECT_EQ(all.measure_from[s], 0u);
+  // measure_from past the end (clamped): nothing is measured.
+  const ShardedTrace none = SplitTrace(t, t.Size() + 10, 4);
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(none.measure_from[s], none.sub[s].Size()) << "shard " << s;
+  }
+  // An empty trace still yields a valid (empty) split.
+  const ShardedTrace empty = SplitTrace(Trace(), 0, 2);
+  EXPECT_TRUE(empty.Valid());
+  EXPECT_EQ(empty.sub[0].Size() + empty.sub[1].Size(), 0u);
 }
 
 }  // namespace
