@@ -67,6 +67,22 @@ inline EvictionPolicyKind PoolPolicy() {
   return kind;
 }
 
+/// LSS_BENCH_CKPT_INTERVAL=N overrides the checkpoint interval of the
+/// benches that exercise checkpointing. bench/io_backend's seal-pipeline
+/// panel feeds it to StoreConfig::checkpoint_interval_ops (backend ops;
+/// 0 disables); io_backend's checkpoint sweep uses it as the shortest
+/// barrier period (user updates between Checkpoint() calls); fig6_tpcc
+/// uses it as the engine-checkpoint period during trace generation
+/// (transactions between dirty-page flushes) and mixes it into the
+/// trace-cache key so cached traces from different checkpoint settings
+/// never alias. Unset keeps each bench's default.
+inline uint32_t CheckpointInterval(uint32_t def) {
+  const char* s = std::getenv("LSS_BENCH_CKPT_INTERVAL");
+  if (s == nullptr || *s == '\0') return def;
+  const long v = std::strtol(s, nullptr, 10);
+  return v < 0 ? def : static_cast<uint32_t>(v);
+}
+
 /// Segments hovering in the free pool / open in steady state — slack the
 /// cleaner cannot exploit as dead space. Used only to pad device sizing
 /// (fig6); the synthetic benches instead keep this fraction negligible

@@ -260,9 +260,13 @@ void Run() {
               static_cast<unsigned long long>(measure_txns),
               threads, threads == 1 ? "" : "s");
 
+  // LSS_BENCH_CKPT_INTERVAL overrides the engine-checkpoint period
+  // (transactions between dirty-page flushes during generation). It is
+  // a generation parameter, so TraceCachePath mixes it into the cache
+  // key and traces from different checkpoint settings never alias.
   const CachedTrace cached =
       GenerateOrLoadTrace(tc, warm_txns, measure_txns,
-                          /*checkpoint_every=*/2000,
+                          /*checkpoint_every=*/bench::CheckpointInterval(2000),
                           /*presplit_shards=*/threads > 1 ? threads : 0);
   const tpcc::TpccTraceResult& gen = cached.gen;
   if (cached.from_cache) {

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Run every bench with LSS_BENCH_JSON and merge the per-bench files into
+# one BENCH_RESULTS.json — the machine-readable perf snapshot tracked
+# across PRs (each element is one measured cell; the "bench" field names
+# the producing panel).
+#
+# Usage: scripts/bench_all.sh [build-dir] [out-file]
+#   default: ./build and ./BENCH_RESULTS.json
+#
+# Knobs the benches honor (all optional, see bench/bench_common.h):
+#   LSS_BENCH_SCALE=N          bigger device / longer runs
+#   LSS_BENCH_SMOKE=1          tiny CI-sized runs where supported
+#   LSS_BENCH_CKPT_INTERVAL=N  checkpoint interval for the benches that
+#                              exercise checkpointing (io_backend sweep,
+#                              fig6 trace generation)
+#   LSS_BENCH_POOL=lru|clock|2q  buffer-pool eviction policy
+#   LSS_BENCH_THREADS=N        fig6 trace-generation / replay workers
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_RESULTS.json}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "bench_all.sh: $BUILD_DIR/bench not found; build with benches on" >&2
+  exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+parts=()
+for bin in "$BUILD_DIR"/bench/*; do
+  [[ -x "$bin" && -f "$bin" ]] || continue
+  name="$(basename "$bin")"
+  json="$TMP/$name.json"
+  echo "bench_all.sh: running $name"
+  if ! LSS_BENCH_JSON="$json" "$bin" > "$TMP/$name.log" 2>&1; then
+    echo "bench_all.sh: $name FAILED; tail of its log:" >&2
+    tail -20 "$TMP/$name.log" >&2
+    exit 1
+  fi
+  # Benches without JSON output (or panels disabled by env) write
+  # nothing; skip them rather than merging an absent file.
+  [[ -s "$json" ]] && parts+=("$json")
+done
+
+# Merge: each part is a JSON array; strip the brackets and re-wrap.
+{
+  echo "["
+  first=1
+  for part in "${parts[@]}"; do
+    while IFS= read -r line; do
+      [[ "$line" == "[" || "$line" == "]" ]] && continue
+      line="${line%,}"
+      if [[ $first -eq 1 ]]; then first=0; else echo ","; fi
+      printf '%s' "$line"
+    done < "$part"
+  done
+  echo
+  echo "]"
+} > "$OUT"
+
+echo "bench_all.sh: wrote $(grep -c '"bench"' "$OUT") rows to $OUT"

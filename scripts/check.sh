@@ -129,4 +129,20 @@ if [[ -x "$BUILD_DIR/bench/buffer_pool" ]]; then
   echo "check.sh: buffer_pool policy smoke green"
 fi
 
+# Delta-checkpoint smoke: the io_backend checkpoint sweep on a small
+# device, shortest barrier interval only — the end-to-end gate for
+# suffix-only open-segment persistence. The JSON must carry both a
+# full-mode and a delta-mode row, and the delta row must have actually
+# emitted suffix records (a silent fallback to full checkpoints would
+# drop the checkpoint_delta_records field's nonzero value).
+if [[ -x "$BUILD_DIR/bench/io_backend" ]]; then
+  LSS_BENCH_SMOKE=1 \
+    LSS_BENCH_JSON="$BUILD_DIR/io_backend_smoke.json" \
+    "$BUILD_DIR/bench/io_backend"
+  grep -q '"bench":"io_backend_ckpt_sweep"' "$BUILD_DIR/io_backend_smoke.json"
+  grep -q '"mode":"delta"' "$BUILD_DIR/io_backend_smoke.json"
+  grep -q '"ckpt_bytes_full_over_delta"' "$BUILD_DIR/io_backend_smoke.json"
+  echo "check.sh: io_backend delta-checkpoint smoke green"
+fi
+
 echo "check.sh: all green"

@@ -97,6 +97,16 @@ struct StoreConfig {
   /// slot reseal is now always preceded by checkpoints of the open
   /// segments holding its relocated pages.
   uint32_t checkpoint_interval_ops = 0;
+  /// Emit suffix-only delta checkpoints when a slot already has a
+  /// durable checkpoint of the same fill generation: the round rewrites
+  /// only the payload appended since the durable watermark, recorded as
+  /// a kMetaCheckpointDelta chained to the previous record by ordinal.
+  /// Falls back to a full checkpoint whenever the slot generation
+  /// changed (reseal/reuse/rehome) or no prior checkpoint exists, and is
+  /// ignored under backend_direct_io (a suffix write is not guaranteed
+  /// to be O_DIRECT-aligned). Off re-records the whole payload every
+  /// round, the pre-delta behaviour.
+  bool checkpoint_delta = true;
 
   /// Total physical page frames of `page_bytes` size.
   uint64_t PhysicalPages() const {

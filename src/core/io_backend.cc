@@ -80,6 +80,9 @@ Status FileBackend::SealSegment(const BackendSegmentRecord&) {
 Status FileBackend::Checkpoint(const BackendSegmentRecord&) {
   return Status::InvalidArgument("file backend not open");
 }
+Status FileBackend::CheckpointDelta(const BackendSegmentRecord&) {
+  return Status::InvalidArgument("file backend not open");
+}
 Status FileBackend::RehomeEntries(const BackendSegmentRecord&) {
   return Status::InvalidArgument("file backend not open");
 }
@@ -131,8 +134,9 @@ enum MetaType : uint16_t {
   kMetaFree = 2,
   kMetaDelete = 3,
   kMetaGeometry = 4,
-  kMetaCheckpoint = 5,  // open-segment snapshot; SealBody layout
-  kMetaRehome = 6,      // re-homed victim entries; SealBody layout
+  kMetaCheckpoint = 5,       // open-segment snapshot; SealBody layout
+  kMetaRehome = 6,           // re-homed victim entries; SealBody layout
+  kMetaCheckpointDelta = 7,  // suffix-only checkpoint; DeltaBody layout
 };
 
 // Metadata-log format version, recorded in the geometry record.
@@ -140,16 +144,20 @@ enum MetaType : uint16_t {
 //   1  adds kMetaCheckpoint (same body layout as a seal record).
 //   2  adds kMetaRehome (same body layout; segment_id names the victim
 //      slot, no payload accompanies the record).
+//   3  adds kMetaCheckpointDelta (DeltaBody): a checkpoint that rewrote
+//      only the payload suffix appended since the slot's previous
+//      checkpoint record, to which it chains by replay ordinal.
 // An older log simply lacks the newer record types, so the current
-// reader accepts all three (io_backend_test pins that compatibility).
+// reader accepts all four (io_backend_test pins that compatibility).
 // The geometry record is written once at create time and never
 // rewritten, so a new writer appending to an old log leaves the old
-// stamp in place — a crash mid-upgrade yields a version-1-stamped log
-// containing re-homing records, which the reader therefore parses
+// stamp in place — a crash mid-upgrade yields an older-stamped log
+// containing newer records, which the reader therefore parses
 // regardless of the stamped format.
 constexpr uint32_t kMetaFormatPr3 = 0;
 constexpr uint32_t kMetaFormatCheckpoint = 1;
 constexpr uint32_t kMetaFormatRehome = 2;
+constexpr uint32_t kMetaFormatDelta = 3;
 
 struct MetaHeader {
   uint32_t magic;
@@ -200,6 +208,28 @@ struct EntryRec {
   double exact_upf;
 };
 static_assert(sizeof(EntryRec) == 48, "EntryRec must pack to 48 bytes");
+
+// Body of a kMetaCheckpointDelta record: the SealBody fields plus the
+// chain linkage. `entry_count` counts only the suffix entries serialised
+// after the body (EntryRec array, exactly as in a seal record);
+// `prefix_entries` is how many entries of the assembled chain survive
+// below this delta — replay truncates to that count, then appends the
+// suffix. The whole record is covered by the standard header FNV.
+struct DeltaBody {
+  uint32_t segment_id;
+  uint32_t log;
+  uint64_t source;
+  uint64_t open_time;
+  uint64_t seal_time;
+  uint64_t unow;
+  uint64_t entry_count;
+  uint64_t generation;      // slot fill generation the chain belongs to
+  uint64_t base_ordinal;    // replay ordinal of the previous chain record
+  uint64_t prefix_entries;  // chain entries retained below this delta
+  uint64_t suffix_offset;   // payload byte range this record rewrote:
+  uint64_t suffix_length;   //   [suffix_offset, suffix_offset + length)
+};
+static_assert(sizeof(DeltaBody) == 88, "DeltaBody must pack to 88 bytes");
 
 struct FreeBody {
   uint32_t segment_id;
@@ -388,11 +418,19 @@ Status FileBackend::Open(const StoreConfig& config, uint32_t shard_id,
   }
   payload_buf_ = static_cast<uint8_t*>(buf);
 
+  // Writer-side replay numbering and checkpoint-chain state. On recover
+  // the following Scan() re-derives next_ordinal_ from the surviving
+  // records; chains always start closed — the first checkpoint of any
+  // slot after (re)open is a full one.
+  next_ordinal_ = 0;
+  chain_tip_ordinal_.assign(config_.num_segments, -1);
+  chain_generation_.assign(config_.num_segments, 0);
+
   if (!recover) {
     // First record: the geometry fingerprint recovery validates against.
     GeometryBody body{shard_id_,           num_shards_,
                       config_.num_segments, config_.segment_bytes,
-                      config_.page_bytes,   kMetaFormatRehome};
+                      config_.page_bytes,   kMetaFormatDelta};
     const std::vector<uint8_t> rec =
         BuildRecord(kMetaGeometry, &body, sizeof(body));
     Status s = AppendMeta(rec.data(), rec.size());
@@ -409,6 +447,7 @@ Status FileBackend::AppendMeta(const void* data, size_t len) {
   Status s = PwriteAll(meta_fd_, data, len, meta_offset_);
   if (!s.ok()) return s;
   meta_offset_ += len;
+  ++next_ordinal_;
   if (stats_ != nullptr) {
     stats_->device_bytes_written += len;
     stats_->device_write_ops += 1;
@@ -459,6 +498,9 @@ Status FileBackend::DrainReclaims(bool punching_allowed) {
     Status s = AppendMeta(rec.data(), rec.size());
     if (!s.ok()) return s;
     pr.record_appended = true;
+    // The free record supersedes every earlier record of the slot; a
+    // later checkpoint of the reused slot must start a fresh chain.
+    chain_tip_ordinal_[pr.id] = -1;
     // With fsync off we make no crash promises; treat appended as done.
     if (!config_.backend_fsync) pr.record_durable = true;
   }
@@ -500,6 +542,124 @@ Status FileBackend::SealSegment(const BackendSegmentRecord& record) {
 // reseal-while-GC-open crash window (see StoreShard::reclaim_queue_).
 Status FileBackend::Checkpoint(const BackendSegmentRecord& record) {
   return WriteSegmentRecord(record, /*checkpoint=*/true);
+}
+
+// A delta checkpoint rewrites only the payload suffix appended since the
+// shard's durable watermark and appends a kMetaCheckpointDelta record
+// chained by ordinal to the slot's previous checkpoint record. Two
+// invariants make the partial rewrite safe: the bytes below
+// suffix_offset were covered by earlier records of the same chain and
+// are never touched, and any overlap between consecutive deltas (the
+// shard bases each on the *durable* watermark, so an unsynced delta's
+// range may be rewritten) is byte-identical — dead entries keep their
+// orig_page pattern, exactly as in a full rewrite.
+Status FileBackend::CheckpointDelta(const BackendSegmentRecord& record) {
+  if (data_fd_ < 0) return Status::InvalidArgument("backend not open");
+  if (record.id >= config_.num_segments) {
+    return Status::InvalidArgument("delta checkpoint: segment id out of range");
+  }
+  if (record.suffix_offset > config_.segment_bytes ||
+      record.suffix_length > config_.segment_bytes - record.suffix_offset) {
+    return Status::InvalidArgument("delta checkpoint: suffix out of range");
+  }
+  // Same pre-write ordering as a full rewrite: drop any pending punch of
+  // this slot and put queued free records on the log first (a queued
+  // free record for this very slot also closes its chain, so the guard
+  // below must run after the drain).
+  for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.id == record.id) pr.punch = false;
+  }
+  Status s = DrainReclaims(/*punching_allowed=*/false);
+  if (!s.ok()) return s;
+
+  if (chain_tip_ordinal_[record.id] < 0 ||
+      chain_generation_[record.id] != record.generation) {
+    // The shard must fall back to a full checkpoint whenever the slot
+    // generation changed or no prior checkpoint exists; reaching here is
+    // a caller bug, not a device state we can write through.
+    return Status::InvalidArgument(
+        "delta checkpoint without a matching chain base");
+  }
+
+  // Suffix payload, built at buffer offset (entry.offset - suffix_offset).
+  // Entries must tile the declared range exactly — a mismatch means the
+  // caller's watermark bookkeeping is broken.
+  uint64_t cursor = record.suffix_offset;
+  for (const Segment::Entry& e : record.entries) {
+    if (e.offset != cursor ||
+        cursor + e.bytes > record.suffix_offset + record.suffix_length) {
+      return Status::Corruption("delta checkpoint: entries do not tile suffix");
+    }
+    const PageId payload_page = e.page != kInvalidPage ? e.page : e.orig_page;
+    if (payload_page != kInvalidPage) {
+      FillPagePayload(payload_page, e.bytes,
+                      payload_buf_ + (cursor - record.suffix_offset));
+    } else {
+      std::memset(payload_buf_ + (cursor - record.suffix_offset), 0, e.bytes);
+    }
+    cursor += e.bytes;
+  }
+  if (cursor != record.suffix_offset + record.suffix_length) {
+    return Status::Corruption("delta checkpoint: entries do not tile suffix");
+  }
+
+  if (record.suffix_length > 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    s = PwriteAll(data_fd_, payload_buf_, record.suffix_length,
+                  static_cast<uint64_t>(record.id) * config_.segment_bytes +
+                      record.suffix_offset);
+    if (!s.ok()) return s;
+    if (stats_ != nullptr) {
+      stats_->device_bytes_written += record.suffix_length;
+      stats_->device_write_ops += 1;
+      stats_->device_write_seconds += SecondsSince(t0);
+    }
+  }
+
+  std::vector<uint8_t> meta_body(sizeof(DeltaBody) +
+                                 record.entries.size() * sizeof(EntryRec));
+  DeltaBody body{};
+  body.segment_id = record.id;
+  body.log = record.log;
+  body.source = static_cast<uint64_t>(record.source);
+  body.open_time = record.open_time;
+  body.seal_time = record.seal_time;
+  body.unow = record.unow;
+  body.entry_count = record.entries.size();
+  body.generation = record.generation;
+  body.base_ordinal =
+      static_cast<uint64_t>(chain_tip_ordinal_[record.id]);
+  body.prefix_entries = record.prefix_entries;
+  body.suffix_offset = record.suffix_offset;
+  body.suffix_length = record.suffix_length;
+  std::memcpy(meta_body.data(), &body, sizeof(body));
+  uint8_t* p = meta_body.data() + sizeof(body);
+  for (const Segment::Entry& e : record.entries) {
+    EntryRec er{};
+    er.page = e.page;
+    er.bytes = e.bytes;
+    er.seq = e.seq;
+    er.last_update = e.last_update;
+    er.up2 = e.up2;
+    er.exact_upf = e.exact_upf;
+    std::memcpy(p, &er, sizeof(er));
+    p += sizeof(er);
+  }
+  const std::vector<uint8_t> rec =
+      BuildRecord(kMetaCheckpointDelta, meta_body.data(), meta_body.size());
+  s = AppendMeta(rec.data(), rec.size());
+  if (!s.ok()) return s;
+  chain_tip_ordinal_[record.id] = static_cast<int64_t>(next_ordinal_ - 1);
+  if (stats_ != nullptr) {
+    stats_->checkpoint_bytes_written += record.suffix_length + rec.size();
+  }
+  if (deferred_sync_) return Status::OK();
+  s = SyncBoth();
+  if (!s.ok()) return s;
+  for (PendingReclaim& pr : pending_reclaims_) {
+    if (pr.record_appended) pr.record_durable = true;
+  }
+  return DrainReclaims(/*punching_allowed=*/true);
 }
 
 // A re-homing record carries the still-needed entries of a withheld
@@ -639,6 +799,18 @@ Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord& record,
       meta_body.size());
   s = AppendMeta(rec.data(), rec.size());
   if (!s.ok()) return s;
+  if (checkpoint) {
+    // This record is now the slot's chain tip: deltas may chain onto it
+    // as long as the shard stays in the same fill generation.
+    chain_tip_ordinal_[record.id] = static_cast<int64_t>(next_ordinal_ - 1);
+    chain_generation_[record.id] = record.generation;
+    if (stats_ != nullptr) {
+      stats_->checkpoint_bytes_written += config_.segment_bytes + rec.size();
+    }
+  } else {
+    // A real seal supersedes the chain; the slot re-records in full next.
+    chain_tip_ordinal_[record.id] = -1;
+  }
   // Group-commit mode: durability (and the punches that require it)
   // arrives with the pipeline's next explicit Sync().
   if (deferred_sync_) return Status::OK();
@@ -774,7 +946,7 @@ Status FileBackend::Scan(BackendRecovery* out) {
     // reopened old log never rewrites the geometry record, so the
     // replay below parses every known record type regardless of stamp.
     if (gb.format != kMetaFormatPr3 && gb.format != kMetaFormatCheckpoint &&
-        gb.format != kMetaFormatRehome) {
+        gb.format != kMetaFormatRehome && gb.format != kMetaFormatDelta) {
       return Status::Corruption(
           "recovery: metadata log format " + std::to_string(gb.format) +
           " is newer than this build supports");
@@ -851,6 +1023,57 @@ Status FileBackend::Scan(BackendRecovery* out) {
         latest_seal[sb.segment_id] = static_cast<int64_t>(seals.size());
         seals.push_back(std::move(rec));
       }
+    } else if (hdr.type == kMetaCheckpointDelta) {
+      if (hdr.body_len < sizeof(DeltaBody)) break;
+      DeltaBody db;
+      std::memcpy(&db, body, sizeof(db));
+      if (db.entry_count > (hdr.body_len - sizeof(DeltaBody)) / sizeof(EntryRec))
+        break;
+      if (hdr.body_len != sizeof(DeltaBody) + db.entry_count * sizeof(EntryRec))
+        break;
+      if (db.segment_id >= config_.num_segments) break;
+      if (db.suffix_offset > config_.segment_bytes ||
+          db.suffix_length > config_.segment_bytes - db.suffix_offset) {
+        break;
+      }
+      BackendSegmentRecord rec;
+      rec.id = db.segment_id;
+      rec.log = db.log;
+      rec.source = static_cast<SegmentSource>(db.source);
+      rec.open_time = db.open_time;
+      rec.seal_time = db.seal_time;
+      rec.unow = db.unow;
+      rec.checkpoint = true;
+      rec.delta = true;
+      rec.ordinal = ordinal;
+      rec.generation = db.generation;
+      rec.base_ordinal = db.base_ordinal;
+      rec.prefix_entries = db.prefix_entries;
+      rec.suffix_offset = db.suffix_offset;
+      rec.suffix_length = db.suffix_length;
+      rec.entries.reserve(db.entry_count);
+      const uint8_t* ep = body + sizeof(db);
+      uint64_t suffix_bytes = 0;
+      for (uint64_t i = 0; i < db.entry_count; ++i) {
+        EntryRec er;
+        std::memcpy(&er, ep + i * sizeof(er), sizeof(er));
+        Segment::Entry e;
+        e.page = er.page;
+        e.bytes = er.bytes;
+        e.seq = er.seq;
+        e.last_update = er.last_update;
+        e.up2 = er.up2;
+        e.exact_upf = er.exact_upf;
+        out->max_seq = std::max(out->max_seq, e.seq);
+        suffix_bytes += e.bytes;
+        rec.entries.push_back(e);
+      }
+      if (suffix_bytes != db.suffix_length) break;
+      out->unow = std::max(out->unow, db.unow);
+      // Deltas are NOT last-record-per-slot resolved: recovery walks the
+      // chain from the surviving base record, and a delta orphaned by a
+      // later seal/free/full-checkpoint never matches any chain tip.
+      out->deltas.push_back(std::move(rec));
     } else if (hdr.type == kMetaFree) {
       if (hdr.body_len != sizeof(FreeBody)) break;
       FreeBody fb;
@@ -880,10 +1103,15 @@ Status FileBackend::Scan(BackendRecovery* out) {
       out->segments.push_back(std::move(seals[latest_seal[id]]));
     }
   }
-  // Future appends continue after the last whole record. The truncated
-  // tail is cut off the file, not just skipped: stale bytes past the new
-  // append position could otherwise be misparsed as records by the
-  // *next* recovery once fresh appends stop short of them.
+  // Future appends continue after the last whole record, numbered where
+  // the replay left off; every checkpoint chain is closed (the recovered
+  // segments are rebuilt as sealed, so the first checkpoint of any slot
+  // in the new run is a full one).
+  next_ordinal_ = ordinal;
+  chain_tip_ordinal_.assign(config_.num_segments, -1);
+  // The truncated tail is cut off the file, not just skipped: stale
+  // bytes past the new append position could otherwise be misparsed as
+  // records by the *next* recovery once fresh appends stop short of them.
   meta_offset_ = valid_end;
   if (valid_end < log.size() &&
       ::ftruncate(meta_fd_, static_cast<off_t>(valid_end)) != 0) {
@@ -1019,26 +1247,35 @@ void FaultInjectionBackend::TearAndDie(const BackendSegmentRecord* record) {
   // earlier durable record of this slot references are byte-identical in
   // the rewrite (Segment::Entry::orig_page keeps dead entries stable),
   // so only bytes no surviving metadata record describes can change.
+  // For a delta checkpoint only the suffix range was in flight: the tear
+  // writes a random prefix of the suffix payload at suffix_offset and
+  // never touches the bytes below it — those belong to earlier durable
+  // records of the chain and real hardware was not writing them.
   if (record != nullptr && (style == 3 || rng.NextBounded(2) == 0)) {
     int dfd = ::open(data_path.c_str(), O_WRONLY);
     if (dfd >= 0) {
-      std::vector<uint8_t> payload(config_.segment_bytes, 0);
-      uint64_t cursor = 0;
+      const uint64_t range_base = record->delta ? record->suffix_offset : 0;
+      const uint64_t range_len =
+          record->delta ? record->suffix_length : config_.segment_bytes;
+      std::vector<uint8_t> payload(static_cast<size_t>(range_len), 0);
+      uint64_t cursor = range_base;
       for (const Segment::Entry& e : record->entries) {
-        if (cursor + e.bytes > config_.segment_bytes) break;
+        const uint64_t at = record->delta ? e.offset : cursor;
+        if (at < range_base || at + e.bytes > range_base + range_len) break;
         const PageId payload_page =
             e.page != kInvalidPage ? e.page : e.orig_page;
         if (payload_page != kInvalidPage) {
-          FillPagePayload(payload_page, e.bytes, payload.data() + cursor);
+          FillPagePayload(payload_page, e.bytes,
+                          payload.data() + (at - range_base));
         }
-        cursor += e.bytes;
+        cursor = at + e.bytes;
       }
-      const size_t len =
-          static_cast<size_t>(rng.NextBounded(config_.segment_bytes + 1));
+      const size_t len = static_cast<size_t>(rng.NextBounded(range_len + 1));
       if (len > 0) {
         (void)!::pwrite(dfd, payload.data(), len,
                         static_cast<off_t>(static_cast<uint64_t>(record->id) *
-                                           config_.segment_bytes));
+                                               config_.segment_bytes +
+                                           range_base));
       }
       ::close(dfd);
     }

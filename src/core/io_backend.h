@@ -47,6 +47,28 @@ struct BackendSegmentRecord {
   /// reseal of a materialised slot beats the re-homing record that
   /// seeded it.
   uint64_t ordinal = 0;
+  /// True for a delta checkpoint (SegmentBackend::CheckpointDelta): the
+  /// record covers only the payload suffix appended since the durable
+  /// watermark and chains to the previous checkpoint record of the same
+  /// slot generation by ordinal. `entries` then holds only the suffix
+  /// entries (their `offset` fields still name absolute positions in the
+  /// slot payload).
+  bool delta = false;
+  /// Fill generation of the slot the chain belongs to (bumped by the
+  /// shard on every Segment::Open of the slot). A delta is only valid
+  /// against a base checkpoint of the same generation.
+  uint64_t generation = 0;
+  /// Ordinal of the previous checkpoint record in this slot's chain
+  /// (full or delta). Assigned by the writing backend; recovery applies
+  /// a delta only when its base_ordinal names the current chain tip.
+  uint64_t base_ordinal = 0;
+  /// Entries of the chain retained below this delta: recovery truncates
+  /// the assembled entry list to this count before appending `entries`.
+  uint64_t prefix_entries = 0;
+  /// Payload byte range this delta rewrote: [suffix_offset,
+  /// suffix_offset + suffix_length) within the slot.
+  uint64_t suffix_offset = 0;
+  uint64_t suffix_length = 0;
   std::vector<Segment::Entry> entries;
 };
 
@@ -61,6 +83,13 @@ struct BackendRecovery {
   /// their own (pattern-reconstructible) and no surviving slot —
   /// recovery materialises the winners into fresh segments.
   std::vector<BackendSegmentRecord> rehomed;
+  /// Delta checkpoint records in replay order (`delta` true). Unlike
+  /// `segments` these are NOT last-record-per-slot resolved: recovery
+  /// walks each slot's chain from its surviving full checkpoint record,
+  /// applying every delta whose base_ordinal matches the chain tip;
+  /// deltas orphaned by a later seal, free or full checkpoint of the
+  /// slot simply never match and are ignored.
+  std::vector<BackendSegmentRecord> deltas;
   /// (page, seq) delete tombstones; a tombstone newer than every surviving
   /// entry of a page means the page is absent.
   std::vector<std::pair<PageId, uint64_t>> deletes;
@@ -111,6 +140,19 @@ class SegmentBackend {
   /// at most the appends since the last checkpoint instead of the whole
   /// open segment. Backends that persist nothing accept and ignore it.
   virtual Status Checkpoint(const BackendSegmentRecord& record) {
+    (void)record;
+    return Status::OK();
+  }
+
+  /// Persists a suffix-only delta checkpoint (`record.delta` true):
+  /// rewrites only the payload range [suffix_offset, suffix_offset +
+  /// suffix_length) of the slot and appends a kMetaCheckpointDelta
+  /// record chained (by ordinal) to the slot's previous checkpoint
+  /// record, which must exist and carry the same generation — the shard
+  /// guarantees this by falling back to a full Checkpoint() whenever the
+  /// slot generation changed. Backends that persist nothing accept and
+  /// ignore it.
+  virtual Status CheckpointDelta(const BackendSegmentRecord& record) {
     (void)record;
     return Status::OK();
   }
@@ -249,6 +291,7 @@ class FileBackend : public SegmentBackend {
               uint32_t num_shards, StoreStats* stats, bool recover) override;
   Status SealSegment(const BackendSegmentRecord& record) override;
   Status Checkpoint(const BackendSegmentRecord& record) override;
+  Status CheckpointDelta(const BackendSegmentRecord& record) override;
   Status RehomeEntries(const BackendSegmentRecord& record) override;
   Status Sync() override;
   void SetDeferredSync(bool on) override { deferred_sync_ = on; }
@@ -266,6 +309,9 @@ class FileBackend : public SegmentBackend {
   static std::string MetaPath(const std::string& dir, uint32_t shard_id);
 
  private:
+  // Appends one complete metadata record, consuming one replay ordinal
+  // (next_ordinal_) on success — the writer-side mirror of Scan's
+  // per-record numbering, which delta records reference as base_ordinal.
   Status AppendMeta(const void* data, size_t len);
   Status SyncBoth();
   // Shared payload-write + metadata-append path of SealSegment and
@@ -307,6 +353,16 @@ class FileBackend : public SegmentBackend {
   bool deferred_sync_ = false;
   /// Append position in the metadata log.
   uint64_t meta_offset_ = 0;
+  /// Replay ordinal the next appended record will carry (count of valid
+  /// records in the log; Scan re-derives it on reopen).
+  uint64_t next_ordinal_ = 0;
+  /// Per-slot checkpoint-chain tip: ordinal and generation of the last
+  /// checkpoint record (full or delta) appended for the slot, or -1 when
+  /// no chain is open (after a seal or free record for the slot, and for
+  /// every slot after Scan). CheckpointDelta links new records to the
+  /// tip and refuses to append without one.
+  std::vector<int64_t> chain_tip_ordinal_;
+  std::vector<uint64_t> chain_generation_;
   /// Reused pwrite buffer for a whole segment (aligned when direct_io_).
   uint8_t* payload_buf_ = nullptr;
 };
@@ -342,6 +398,7 @@ class FaultInjectionBackend : public SegmentBackend {
   int64_t reclaims() const { return reclaims_; }
   int64_t deletes() const { return deletes_; }
   int64_t checkpoints() const { return checkpoints_; }
+  int64_t delta_checkpoints() const { return delta_checkpoints_; }
   int64_t syncs() const { return syncs_; }
   int64_t rehomes() const { return rehomes_; }
 
@@ -379,6 +436,15 @@ class FaultInjectionBackend : public SegmentBackend {
     if (Status s; !CrashGate(&s, &record)) return s;
     ++checkpoints_;
     return base_->Checkpoint(record);
+  }
+  Status CheckpointDelta(const BackendSegmentRecord& record) override {
+    // The gate gets the record so a crash here can tear the suffix range
+    // the delta was rewriting (TearAndDie writes a partial prefix of the
+    // suffix payload, never the bytes below suffix_offset — those belong
+    // to earlier durable records and real hardware was not writing them).
+    if (Status s; !CrashGate(&s, &record)) return s;
+    ++delta_checkpoints_;
+    return base_->CheckpointDelta(record);
   }
   Status RehomeEntries(const BackendSegmentRecord& record) override {
     // No payload accompanies a re-homing record, so a crash here tears
@@ -448,6 +514,7 @@ class FaultInjectionBackend : public SegmentBackend {
   int64_t reclaims_ = 0;
   int64_t deletes_ = 0;
   int64_t checkpoints_ = 0;
+  int64_t delta_checkpoints_ = 0;
   int64_t syncs_ = 0;
   int64_t rehomes_ = 0;
   int64_t fail_seal_after_ = -1;

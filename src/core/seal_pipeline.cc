@@ -121,7 +121,17 @@ void SealPipeline::ThreadMain() {
             break;
           case Op::Kind::kCheckpoint:
             s = backend_->Checkpoint(op.record);
-            if (s.ok()) ++backend_stats_.checkpoints_written;
+            if (s.ok()) {
+              ++backend_stats_.checkpoints_written;
+              ++backend_stats_.checkpoint_full_records;
+            }
+            break;
+          case Op::Kind::kCheckpointDelta:
+            s = backend_->CheckpointDelta(op.record);
+            if (s.ok()) {
+              ++backend_stats_.checkpoints_written;
+              ++backend_stats_.checkpoint_delta_records;
+            }
             break;
           case Op::Kind::kReclaim:
             s = backend_->ReclaimSegment(op.segment, op.unow);

@@ -41,14 +41,15 @@ namespace lss {
 class SealPipeline {
  public:
   struct Op {
-    enum class Kind : uint8_t { kSeal, kCheckpoint, kReclaim, kDelete,
-                                kRehome };
+    enum class Kind : uint8_t { kSeal, kCheckpoint, kCheckpointDelta,
+                                kReclaim, kDelete, kRehome };
     Kind kind = Kind::kSeal;
-    /// kSeal / kCheckpoint / kRehome: the full durable record (for
-    /// kRehome the backend writes metadata only and syncs internally —
-    /// the record must be durable before the shard's next seal of the
-    /// reused slot, which queue order alone would not guarantee within
-    /// a group-commit batch).
+    /// kSeal / kCheckpoint / kCheckpointDelta / kRehome: the full
+    /// durable record (for kCheckpointDelta only the suffix entries and
+    /// range; for kRehome the backend writes metadata only and syncs
+    /// internally — the record must be durable before the shard's next
+    /// seal of the reused slot, which queue order alone would not
+    /// guarantee within a group-commit batch).
     BackendSegmentRecord record;
     /// kReclaim: the freed segment.
     SegmentId segment = kInvalidSegment;

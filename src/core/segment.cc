@@ -16,6 +16,8 @@ void Segment::Open(uint32_t log, SegmentSource source, UpdateCount now) {
   up2_accum_ = 0;
   up2_ = 0;
   exact_upf_sum_ = 0;
+  ckpt_entries_ = 0;
+  ckpt_bytes_ = 0;
   entries_.clear();
 }
 
@@ -78,6 +80,8 @@ void Segment::Reset() {
   up2_accum_ = 0;
   up2_ = 0;
   exact_upf_sum_ = 0;
+  ckpt_entries_ = 0;
+  ckpt_bytes_ = 0;
 }
 
 bool Segment::CheckCountersConsistent() const {

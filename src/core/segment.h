@@ -130,6 +130,23 @@ class Segment {
            static_cast<double>(capacity_);
   }
 
+  /// Appended bytes so far, including dead entries (the payload prefix a
+  /// checkpoint of this segment would cover).
+  uint32_t used_bytes() const { return used_bytes_; }
+
+  /// Durable checkpoint watermark of the current fill generation: the
+  /// entry count and byte offset covered by the last checkpoint record
+  /// of this segment that is known durable (StoreShard advances it only
+  /// after the record's group-fsync). A delta checkpoint re-records only
+  /// the suffix past the watermark; Open/Reset clear it, so a reused
+  /// slot always starts a fresh chain with a full checkpoint.
+  uint32_t checkpoint_entries() const { return ckpt_entries_; }
+  uint64_t checkpoint_bytes() const { return ckpt_bytes_; }
+  void SetCheckpointWatermark(uint32_t entries, uint64_t bytes) {
+    ckpt_entries_ = entries;
+    ckpt_bytes_ = bytes;
+  }
+
   /// Segment-level penultimate-update estimate (valid once sealed).
   double up2() const { return up2_; }
   /// up2 usable in any state: the sealed value, or the running mean over
@@ -170,6 +187,9 @@ class Segment {
   double exact_upf_sum_ = 0;  // over live pages
   UpdateCount open_time_ = 0;
   UpdateCount seal_time_ = 0;
+
+  uint32_t ckpt_entries_ = 0;  // durable checkpoint watermark (entries)
+  uint64_t ckpt_bytes_ = 0;    // ...and bytes
 };
 
 }  // namespace lss

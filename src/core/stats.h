@@ -76,6 +76,19 @@ class StoreStats {
   uint64_t group_fsync_ops = 0;
   /// Open-segment checkpoint records persisted (async or periodic).
   uint64_t checkpoints_written = 0;
+  /// Checkpoint rounds executed (each CheckpointOpenSegments pass over
+  /// the open segments, whether it emitted records or skipped them all
+  /// because the delta chains already covered every entry).
+  uint64_t checkpoint_rounds = 0;
+  /// checkpoints_written split by kind: full records re-persist the
+  /// whole slot payload, delta records only the suffix appended since
+  /// the durable watermark (StoreConfig::checkpoint_delta).
+  uint64_t checkpoint_full_records = 0;
+  uint64_t checkpoint_delta_records = 0;
+  /// Device bytes spent on checkpointing: payload ranges rewritten plus
+  /// the checkpoint metadata records (file backend only; a subset of
+  /// device_bytes_written).
+  uint64_t checkpoint_bytes_written = 0;
   /// Times AllocateSegment reused a slot whose free record is still
   /// withheld after first re-homing the victim's still-needed entries
   /// under a durable re-homing record (reachable only when a policy
@@ -155,6 +168,10 @@ class StoreStats {
     group_fsyncs += other.group_fsyncs;
     group_fsync_ops += other.group_fsync_ops;
     checkpoints_written += other.checkpoints_written;
+    checkpoint_rounds += other.checkpoint_rounds;
+    checkpoint_full_records += other.checkpoint_full_records;
+    checkpoint_delta_records += other.checkpoint_delta_records;
+    checkpoint_bytes_written += other.checkpoint_bytes_written;
     withheld_slot_reuses_rehomed += other.withheld_slot_reuses_rehomed;
     withheld_slot_reuses_plain += other.withheld_slot_reuses_plain;
     rehome_entries_written += other.rehome_entries_written;
@@ -185,6 +202,10 @@ class StoreStats {
     group_fsyncs = 0;
     group_fsync_ops = 0;
     checkpoints_written = 0;
+    checkpoint_rounds = 0;
+    checkpoint_full_records = 0;
+    checkpoint_delta_records = 0;
+    checkpoint_bytes_written = 0;
     withheld_slot_reuses_rehomed = 0;
     withheld_slot_reuses_plain = 0;
     rehome_entries_written = 0;

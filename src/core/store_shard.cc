@@ -31,6 +31,8 @@ StoreShard::StoreShard(const StoreConfig& config,
   for (uint32_t i = config_.num_segments; i > 0; --i) {
     free_list_.push_back(i - 1);
   }
+  slot_generation_.assign(config_.num_segments, 0);
+  ckpt_chain_.assign(config_.num_segments, CheckpointChain{});
   if (config_.async_seal) {
     pipeline_ = std::make_unique<SealPipeline>(
         backend_.get(), config_.seal_queue_depth, config_.backend_fsync);
@@ -255,6 +257,9 @@ Status StoreShard::Checkpoint() {
   ops_since_checkpoint_ = 0;
   // The barrier: wait out the queue (async) and make it all durable.
   if (s.ok()) s = pipeline_ ? pipeline_->Drain() : backend_->Sync();
+  // Everything emitted is durable now; pending watermarks can commit so
+  // the next round's deltas base on what this barrier persisted.
+  if (s.ok() && pipeline_ != nullptr) CommitDurableWatermarks();
   if (!s.ok()) sticky_error_ = s;
   return s;
 }
@@ -411,6 +416,9 @@ Segment* StoreShard::OpenSegmentFor(uint32_t log, uint32_t stream, bool is_gc,
     *id_out = it->second;
     return &segments_[it->second];
   }
+  // Reuse changes the slot's payload identity: the new fill generation
+  // closes any checkpoint chain of the previous occupant.
+  InvalidateCheckpointChain(id);
   segments_[id].Open(log, is_gc ? SegmentSource::kGc : SegmentSource::kUser,
                      unow_);
   open_segments_.emplace(key, id);
@@ -432,6 +440,7 @@ BackendSegmentRecord StoreShard::MakeSealRecord(SegmentId id,
   rec.seal_time = checkpoint ? unow_ : seg.seal_time();
   rec.unow = unow_;
   rec.checkpoint = checkpoint;
+  rec.generation = slot_generation_[id];
   rec.entries = seg.entries();
   // In-place-killed entries are recorded *live* under their original
   // identity: their successor always carries a larger append sequence,
@@ -475,20 +484,144 @@ Status StoreShard::EmitSeal(SegmentId id, const Segment& seg) {
 }
 
 Status StoreShard::EmitCheckpoint(SegmentId id, const Segment& seg) {
+  const uint64_t gen = slot_generation_[id];
+  const uint64_t entries = seg.entries().size();
+  const uint64_t bytes = seg.used_bytes();
   if (pipeline_ == nullptr) {
     Status s = backend_->Checkpoint(MakeSealRecord(id, seg,
                                                    /*checkpoint=*/true));
-    if (s.ok()) ++stats_.checkpoints_written;
+    if (!s.ok()) return s;
+    ++stats_.checkpoints_written;
+    ++stats_.checkpoint_full_records;
+    // Synchronous backends make the record durable before returning, so
+    // the watermark commits at emission.
+    segments_[id].SetCheckpointWatermark(static_cast<uint32_t>(entries),
+                                         bytes);
+    ckpt_chain_[id] = CheckpointChain{true, gen, entries, bytes};
     return s;
   }
   SealPipeline::Op op;
   op.kind = SealPipeline::Op::Kind::kCheckpoint;
   op.record = MakeSealRecord(id, seg, /*checkpoint=*/true);
-  return EnqueueOp(std::move(op));
+  uint64_t ticket = 0;
+  Status s = EnqueueOp(std::move(op), &ticket);
+  if (!s.ok()) return s;
+  // The chain tracks *emitted* coverage (queue order = log order); the
+  // durable watermark waits for the pipeline's group sync.
+  ckpt_chain_[id] = CheckpointChain{true, gen, entries, bytes};
+  pending_watermarks_.push_back(
+      PendingWatermark{id, gen, static_cast<uint32_t>(entries), bytes,
+                       ticket});
+  return s;
+}
+
+Status StoreShard::EmitCheckpointDelta(SegmentId id, const Segment& seg) {
+  const uint64_t gen = slot_generation_[id];
+  const uint32_t wm_entries = seg.checkpoint_entries();
+  const uint64_t wm_bytes = seg.checkpoint_bytes();
+  const uint64_t entries = seg.entries().size();
+  const uint64_t bytes = seg.used_bytes();
+  assert(wm_entries <= entries && wm_bytes <= bytes);
+
+  BackendSegmentRecord rec;
+  rec.id = id;
+  rec.log = seg.log();
+  rec.source = seg.source();
+  rec.open_time = seg.open_time();
+  rec.seal_time = unow_;  // as EmitCheckpoint: snapshot-time clock
+  rec.unow = unow_;
+  rec.checkpoint = true;
+  rec.delta = true;
+  rec.generation = gen;
+  rec.prefix_entries = wm_entries;
+  rec.suffix_offset = wm_bytes;
+  rec.suffix_length = bytes - wm_bytes;
+  // Only the suffix past the durable watermark travels; the base chain
+  // already covers the prefix byte-for-byte (in-place kills never change
+  // recorded content — see the resurrection rule in MakeSealRecord,
+  // applied to the suffix here too).
+  rec.entries.assign(seg.entries().begin() + wm_entries, seg.entries().end());
+  for (Segment::Entry& e : rec.entries) {
+    if (e.page == kInvalidPage && !e.doa && e.orig_page != kInvalidPage) {
+      e.page = e.orig_page;
+    }
+  }
+  if (pipeline_ == nullptr) {
+    Status s = backend_->CheckpointDelta(rec);
+    if (!s.ok()) return s;
+    ++stats_.checkpoints_written;
+    ++stats_.checkpoint_delta_records;
+    segments_[id].SetCheckpointWatermark(static_cast<uint32_t>(entries),
+                                         bytes);
+    ckpt_chain_[id].emitted_entries = entries;
+    ckpt_chain_[id].emitted_bytes = bytes;
+    return s;
+  }
+  SealPipeline::Op op;
+  op.kind = SealPipeline::Op::Kind::kCheckpointDelta;
+  op.record = std::move(rec);
+  uint64_t ticket = 0;
+  Status s = EnqueueOp(std::move(op), &ticket);
+  if (!s.ok()) return s;
+  ckpt_chain_[id].emitted_entries = entries;
+  ckpt_chain_[id].emitted_bytes = bytes;
+  pending_watermarks_.push_back(
+      PendingWatermark{id, gen, static_cast<uint32_t>(entries), bytes,
+                       ticket});
+  return s;
+}
+
+Status StoreShard::EmitOpenSegmentCheckpoint(SegmentId id,
+                                             const Segment& seg) {
+  if (!DeltaCheckpointsEnabled()) return EmitCheckpoint(id, seg);
+  const CheckpointChain& chain = ckpt_chain_[id];
+  if (!chain.valid || chain.generation != slot_generation_[id]) {
+    // No base, or the slot was refilled since: start the chain over.
+    return EmitCheckpoint(id, seg);
+  }
+  if (chain.emitted_entries == seg.entries().size() &&
+      chain.emitted_bytes == seg.used_bytes()) {
+    // The emitted chain already covers every entry (in-place kills since
+    // then re-record identically, so there is nothing new to persist).
+    return Status::OK();
+  }
+  return EmitCheckpointDelta(id, seg);
+}
+
+void StoreShard::CommitDurableWatermarks() {
+  if (pending_watermarks_.empty() || pipeline_ == nullptr) return;
+  if (!pipeline_->error().ok()) {
+    pending_watermarks_.clear();
+    return;
+  }
+  const uint64_t applied = pipeline_->applied_ticket();
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_watermarks_.size(); ++i) {
+    const PendingWatermark& pw = pending_watermarks_[i];
+    if (pw.ticket > applied) {
+      if (kept != i) pending_watermarks_[kept] = pw;
+      ++kept;
+      continue;
+    }
+    // Stale generations (the slot sealed or was refilled since emission)
+    // are dropped: the watermark belongs to a payload that no longer
+    // exists in this slot.
+    if (pw.generation == slot_generation_[pw.id] &&
+        segments_[pw.id].state() == SegmentState::kOpen) {
+      segments_[pw.id].SetCheckpointWatermark(pw.entries, pw.bytes);
+    }
+  }
+  pending_watermarks_.resize(kept);
 }
 
 Status StoreShard::EmitReclaim(SegmentId id, UpdateCount unow) {
   ++ops_since_checkpoint_;
+  // A free record erases every earlier record of the slot on replay —
+  // including the checkpoint chain of a *new* occupant when the victim's
+  // withheld free releases after the slot was reused. Whatever chain the
+  // slot carries is dead in the log the moment this record lands, so the
+  // next checkpoint of the slot must start over with a full record.
+  InvalidateCheckpointChain(id);
   if (pipeline_ == nullptr) return backend_->ReclaimSegment(id, unow);
   SealPipeline::Op op;
   op.kind = SealPipeline::Op::Kind::kReclaim;
@@ -510,19 +643,26 @@ Status StoreShard::EmitDelete(PageId page, uint64_t seq, UpdateCount unow) {
 
 Status StoreShard::CheckpointGcDirtyOpen(SegmentId skip) {
   if (gc_dirty_open_.empty()) return Status::OK();
+  CommitDurableWatermarks();
   std::vector<SegmentId> ids(gc_dirty_open_.begin(), gc_dirty_open_.end());
   std::sort(ids.begin(), ids.end());
   for (SegmentId id : ids) {
     if (id == skip) continue;
     const Segment& seg = segments_[id];
     if (seg.state() != SegmentState::kOpen || seg.entries().empty()) continue;
-    Status s = EmitCheckpoint(id, seg);
+    // Skip-when-covered is safe here too: an already-emitted chain
+    // precedes the forced free record in queue = log order.
+    Status s = EmitOpenSegmentCheckpoint(id, seg);
     if (!s.ok()) return s;
   }
   return Status::OK();
 }
 
 Status StoreShard::CheckpointOpenSegments() {
+  ++stats_.checkpoint_rounds;
+  // Harvest durability first so this round's deltas base on the newest
+  // durable watermark instead of re-sending already-synced suffixes.
+  CommitDurableWatermarks();
   std::vector<uint64_t> open_keys;
   open_keys.reserve(open_segments_.size());
   for (const auto& [key, id] : open_segments_) {
@@ -533,7 +673,7 @@ Status StoreShard::CheckpointOpenSegments() {
   for (uint64_t key : open_keys) {
     const SegmentId id = open_segments_[key];
     if (segments_[id].entries().empty()) continue;
-    Status s = EmitCheckpoint(id, segments_[id]);
+    Status s = EmitOpenSegmentCheckpoint(id, segments_[id]);
     if (!s.ok()) return s;
   }
   return Status::OK();
@@ -574,6 +714,10 @@ Status StoreShard::SealOpenSegment(uint32_t log, uint32_t stream) {
   Segment& seg = segments_[id];
   const bool was_gc = seg.source() == SegmentSource::kGc;
   seg.Seal(unow_);
+  // The seal record supersedes the slot's checkpoint chain (and closes
+  // it backend-side too); any late watermark for this generation must
+  // not survive into the slot's next life.
+  InvalidateCheckpointChain(id);
   if (was_gc) {
     ++stats_.gc_segments_sealed;
   } else {
@@ -683,16 +827,14 @@ SegmentId StoreShard::AllocateSegment(uint32_t log) {
     // impossible by construction.
     const SegmentId reuse = free_list_.back();
     std::vector<Segment::Entry> still_needed;
-    for (QueuedReclaim& qr : reclaim_queue_) {
+    size_t queue_pos = reclaim_queue_.size();
+    for (size_t i = 0; i < reclaim_queue_.size(); ++i) {
+      QueuedReclaim& qr = reclaim_queue_[i];
       if (qr.id != reuse) continue;
       for (const Segment::Entry& e : qr.needed) {
         if (!SuccessorEmitted(e.page)) still_needed.push_back(e);
       }
-      // The re-homing record (or the emitted successors) now protects
-      // every entry; the free record can release at the next safe
-      // point. The victim stays queued so the forced-free path orders
-      // its free record ahead of the slot's new seal.
-      qr.needed.clear();
+      queue_pos = i;
       break;
     }
     if (still_needed.empty()) {
@@ -705,6 +847,20 @@ SegmentId StoreShard::AllocateSegment(uint32_t log) {
         return kInvalidSegment;
       }
       ++stats_.withheld_slot_reuses_rehomed;
+    }
+    // Every entry of the victim is settled now (emitted successors or
+    // the re-homing record just made durable), so its free record goes
+    // out immediately — and must precede the slot's new occupant in the
+    // log: a free record landing after the occupant's first checkpoint
+    // would erase that record (and its delta chain) from replay.
+    if (queue_pos < reclaim_queue_.size()) {
+      Status fs = EmitReclaim(reuse, reclaim_queue_[queue_pos].unow);
+      if (!fs.ok()) {
+        sticky_error_ = fs;
+        return kInvalidSegment;
+      }
+      reclaim_queue_.erase(reclaim_queue_.begin() +
+                           static_cast<ptrdiff_t>(queue_pos));
     }
   }
   const SegmentId id = free_list_.back();
@@ -760,6 +916,7 @@ uint64_t StoreShard::HarvestVictims(const std::vector<SegmentId>& victims,
       moved->push_back(mp);
     }
     seg.Reset();
+    InvalidateCheckpointChain(id);
     free_list_.push_back(id);
     // The backend is told later (ReleaseReclaims): a durable free record
     // now would let a crash erase this victim's entries while its moved
@@ -1022,6 +1179,19 @@ Status StoreShard::Recover() {
   };
   std::vector<Placed> placed;
 
+  // Delta records grouped by slot, already in replay (ordinal) order.
+  // They are applied below by walking each surviving base record's
+  // chain; a delta orphaned by a later full checkpoint, seal or free of
+  // its slot never matches any chain tip and is silently skipped.
+  std::unordered_map<SegmentId, std::vector<const BackendSegmentRecord*>>
+      deltas_by_slot;
+  for (const BackendSegmentRecord& d : log.deltas) {
+    if (d.id >= segments_.size()) {
+      return Status::Corruption("recovery: delta segment id out of range");
+    }
+    deltas_by_slot[d.id].push_back(&d);
+  }
+
   // Rebuild each sealed segment exactly as the original run filled it:
   // same entry order, same up2 accumulation, so the seal-time up2 the
   // cleaning policies rank by comes back bit-for-bit.
@@ -1030,9 +1200,46 @@ Status StoreShard::Recover() {
     if (rec.id >= segments_.size()) {
       return Status::Corruption("recovery: segment id out of range");
     }
+    // Assemble the slot's effective entry list: start from the base
+    // record, then let each chain link replace everything past its
+    // recorded prefix. Entries keep the ordinal of the record that
+    // contributed them, so equal-seq ties still break toward the later
+    // record exactly as with full checkpoints.
+    std::vector<Segment::Entry> entries = rec.entries;
+    std::vector<uint64_t> ordinals(entries.size(), rec.ordinal);
+    UpdateCount seal_time = rec.seal_time;
+    if (rec.checkpoint) {
+      auto dit = deltas_by_slot.find(rec.id);
+      if (dit != deltas_by_slot.end()) {
+        uint64_t tip = rec.ordinal;
+        for (const BackendSegmentRecord* d : dit->second) {
+          if (d->base_ordinal != tip) continue;  // not a link of this chain
+          if (d->prefix_entries > entries.size()) {
+            return Status::Corruption(
+                "recovery: delta prefix exceeds its chain's entries");
+          }
+          uint64_t prefix_bytes = 0;
+          for (uint64_t i = 0; i < d->prefix_entries; ++i) {
+            prefix_bytes += entries[i].bytes;
+          }
+          if (prefix_bytes != d->suffix_offset) {
+            return Status::Corruption(
+                "recovery: delta suffix offset does not match its chain");
+          }
+          entries.resize(d->prefix_entries);
+          ordinals.resize(d->prefix_entries);
+          entries.insert(entries.end(), d->entries.begin(),
+                         d->entries.end());
+          ordinals.resize(entries.size(), d->ordinal);
+          seal_time = d->seal_time;
+          tip = d->ordinal;
+        }
+      }
+    }
     Segment& seg = segments_[rec.id];
     seg.Open(rec.log, rec.source, rec.open_time);
-    for (const Segment::Entry& e : rec.entries) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const Segment::Entry& e = entries[i];
       if (!seg.HasRoomFor(e.bytes)) {
         return Status::Corruption("recovery: entries overflow segment");
       }
@@ -1050,9 +1257,9 @@ Status StoreShard::Recover() {
                      e.last_update);
       placed.push_back(
           Placed{e.page, rec.id, idx, e.seq, e.bytes, e.last_update,
-                 e.up2, e.exact_upf, rec.ordinal, false});
+                 e.up2, e.exact_upf, ordinals[i], false});
     }
-    seg.Seal(rec.seal_time);
+    seg.Seal(seal_time);
     is_sealed[rec.id] = 1;
   }
 

@@ -278,12 +278,41 @@ class StoreShard {
 
   Status EmitSeal(SegmentId id, const Segment& seg);
   Status EmitCheckpoint(SegmentId id, const Segment& seg);
+  // Delta path (StoreConfig::checkpoint_delta): emits only the suffix
+  // past the slot's durable watermark, chained to the previous record.
+  Status EmitCheckpointDelta(SegmentId id, const Segment& seg);
+  // Checkpoint decision for one open segment: skip when the emitted
+  // chain already covers every entry, delta when a same-generation chain
+  // exists, full otherwise (no chain, generation changed, delta disabled
+  // or O_DIRECT).
+  Status EmitOpenSegmentCheckpoint(SegmentId id, const Segment& seg);
   Status EmitReclaim(SegmentId id, UpdateCount unow);
   Status EmitDelete(PageId page, uint64_t seq, UpdateCount unow);
 
   bool CheckpointingEnabled() const {
     return config_.checkpoint_interval_ops > 0;
   }
+
+  // Delta checkpoints are gated off under O_DIRECT: a suffix pwrite is
+  // not guaranteed to be aligned, and the full-rewrite path already is.
+  bool DeltaCheckpointsEnabled() const {
+    return config_.checkpoint_delta && !config_.backend_direct_io;
+  }
+
+  // Bumps the slot's fill generation and closes its emitted chain; any
+  // later checkpoint of the slot starts over with a full record. Called
+  // whenever the slot's payload identity changes: Segment::Open (reuse),
+  // seal, and harvest/reset.
+  void InvalidateCheckpointChain(SegmentId id) {
+    ++slot_generation_[id];
+    ckpt_chain_[id].valid = false;
+  }
+
+  // Advances the durable watermark of every slot whose pending
+  // checkpoint record the pipeline has applied AND synced (applied
+  // tickets only move after the batch group-fsync). Sync mode commits
+  // watermarks at emission instead and never queues here.
+  void CommitDurableWatermarks();
 
   /// True if `id` is a cleaned victim whose free record is still
   /// withheld (reclaim_queue_ is at most a few entries, so linear).
@@ -401,6 +430,37 @@ class StoreShard {
   /// Backend ops emitted since the last checkpoint round (periodic
   /// checkpointing, see MaybePeriodicCheckpoint).
   uint64_t ops_since_checkpoint_ = 0;
+
+  /// Per-slot fill generation, bumped by InvalidateCheckpointChain each
+  /// time the slot's payload identity changes. A delta checkpoint is
+  /// valid only against a chain of the same generation; watermarks
+  /// committed late (async) are dropped when the generation moved on.
+  std::vector<uint64_t> slot_generation_;
+  /// What the slot's emitted (not necessarily durable) checkpoint chain
+  /// covers. Skip-when-covered is judged against this: emitted records
+  /// precede any later free record in queue = log order, which is all
+  /// the crash-ordering invariants need.
+  struct CheckpointChain {
+    bool valid = false;
+    uint64_t generation = 0;
+    uint64_t emitted_entries = 0;
+    uint64_t emitted_bytes = 0;
+  };
+  std::vector<CheckpointChain> ckpt_chain_;
+  /// Async mode: checkpoint records emitted but not yet known durable.
+  /// CommitDurableWatermarks moves each into the Segment's watermark
+  /// once the pipeline's applied ticket passes it — never earlier, so a
+  /// delta's base range is always durable (the ISSUE's "watermark
+  /// advance only after durability"). Consecutive deltas of a slot may
+  /// therefore overlap; byte-stability makes the overlap identical.
+  struct PendingWatermark {
+    SegmentId id;
+    uint64_t generation;
+    uint32_t entries;
+    uint64_t bytes;
+    uint64_t ticket;
+  };
+  std::vector<PendingWatermark> pending_watermarks_;
 
   PageTable& table_;
   WriteBuffer buffer_;

@@ -29,8 +29,15 @@ void FillDeviceMetrics(const StoreStats& stats, RunResult* r) {
   r->group_fsyncs = stats.group_fsyncs;
   r->seal_queue_stalls = stats.seal_queue_stalls;
   r->checkpoints_written = stats.checkpoints_written;
+  r->checkpoint_rounds = stats.checkpoint_rounds;
+  r->checkpoint_full_records = stats.checkpoint_full_records;
+  r->checkpoint_delta_records = stats.checkpoint_delta_records;
+  r->checkpoint_bytes_written = stats.checkpoint_bytes_written;
   r->withheld_slot_reuses_rehomed = stats.withheld_slot_reuses_rehomed;
   r->withheld_slot_reuses_plain = stats.withheld_slot_reuses_plain;
+  r->segments_sealed = stats.user_segments_sealed + stats.gc_segments_sealed;
+  r->segments_cleaned = stats.segments_cleaned;
+  r->rehome_entries_written = stats.rehome_entries_written;
 }
 
 ParallelRunResult FailParallel(Status s, const std::string& variant,

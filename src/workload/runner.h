@@ -63,11 +63,30 @@ struct RunResult {
   uint64_t seal_queue_stalls = 0;
   /// Open-segment checkpoint records persisted.
   uint64_t checkpoints_written = 0;
+  /// Checkpoint rounds taken (periodic or barrier-driven sweeps over the
+  /// open segments).
+  uint64_t checkpoint_rounds = 0;
+  /// Full (whole-prefix) checkpoint records among checkpoints_written.
+  uint64_t checkpoint_full_records = 0;
+  /// Delta (suffix-only) checkpoint records among checkpoints_written.
+  uint64_t checkpoint_delta_records = 0;
+  /// Device bytes spent on checkpointing alone (payload suffix or full
+  /// rewrite plus the metadata record).
+  uint64_t checkpoint_bytes_written = 0;
   /// Withheld-slot reuses that re-homed the slot's still-needed entries
   /// under a durable record before overwriting it.
   uint64_t withheld_slot_reuses_rehomed = 0;
   /// Withheld-slot reuses where nothing needed re-homing.
   uint64_t withheld_slot_reuses_plain = 0;
+
+  // --- Durable-record accounting (for device-byte predictions) --------
+
+  /// Segments sealed (user + GC) during measurement.
+  uint64_t segments_sealed = 0;
+  /// Victim segments reclaimed by the cleaner during measurement.
+  uint64_t segments_cleaned = 0;
+  /// Entries persisted under re-homing records during measurement.
+  uint64_t rehome_entries_written = 0;
 };
 
 /// Builds a store for `variant` (applying its placement conventions to

@@ -633,6 +633,247 @@ TEST_F(IoBackendTest, CheckpointFormatMetadataLogStillRecovers) {
   ASSERT_TRUE(store->Close().ok());
 }
 
+// A canned format-2 log (the re-homing-era stamp, before delta
+// checkpoints bumped the format to 3) must keep recovering under the
+// bumped reader. Written with delta records disabled so the log holds
+// exactly the record types a format-2 writer could produce — seals,
+// frees, full checkpoints and re-homes.
+TEST_F(IoBackendTest, RehomeFormatMetadataLogStillRecovers) {
+  StoreConfig cfg = FileConfig();
+  cfg.checkpoint_interval_ops = 8;
+  cfg.checkpoint_delta = false;
+  size_t live_before = 0;
+  {
+    auto store = LogStructuredStore::Create(cfg, MakePolicy(Variant::kGreedy));
+    ASSERT_NE(store, nullptr);
+    Rng rng(41);
+    for (PageId p = 0; p < 32; ++p) ASSERT_TRUE(store->Write(p).ok());
+    for (int i = 0; i < 1500; ++i) {
+      ASSERT_TRUE(store->Write(rng.NextBounded(32)).ok());
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(store->Write(rng.NextBounded(32)).ok());
+    }
+    live_before = store->LivePageCount();
+    ASSERT_TRUE(store->Close().ok());
+  }
+
+  PatchGeometryFormat(dir_, 2);
+  Status st;
+  auto store = LogStructuredStore::Open(cfg, MakePolicy(Variant::kGreedy), &st);
+  ASSERT_NE(store, nullptr) << st.ToString();
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  EXPECT_EQ(store->LivePageCount(), live_before);
+  ASSERT_TRUE(store->Close().ok());
+}
+
+// A delta chain round-trips through the metadata log: the reader hands
+// the suffix records back separately from the seals, in replay order,
+// each carrying the ordinal of its base — the full checkpoint for the
+// first link, the previous delta for every later one — so recovery can
+// stitch the chain back together and spot orphans.
+TEST_F(IoBackendTest, DeltaChainRoundTripsWithOrdinals) {
+  const StoreConfig cfg = FileConfig(/*fsync=*/true);
+  StoreStats wstats;
+  FileBackend writer;
+  ASSERT_TRUE(writer.Open(cfg, 0, 1, &wstats, /*recover=*/false).ok());
+
+  auto entry = [](PageId page, uint64_t seq, uint64_t offset) {
+    Segment::Entry e;
+    e.page = page;
+    e.bytes = 4096;
+    e.seq = seq;
+    e.last_update = seq;
+    e.offset = offset;
+    return e;
+  };
+
+  BackendSegmentRecord base;
+  base.id = 3;
+  base.source = SegmentSource::kUser;
+  base.seal_time = 5;
+  base.unow = 5;
+  base.checkpoint = true;
+  base.entries = {entry(7, 1, 0), entry(8, 2, 4096)};
+  ASSERT_TRUE(writer.Checkpoint(base).ok());
+
+  BackendSegmentRecord d1;
+  d1.id = 3;
+  d1.source = SegmentSource::kUser;
+  d1.seal_time = 9;
+  d1.unow = 9;
+  d1.checkpoint = true;
+  d1.delta = true;
+  d1.prefix_entries = 2;
+  d1.suffix_offset = 2 * 4096;
+  d1.suffix_length = 4096;
+  d1.entries = {entry(9, 3, 2 * 4096)};
+  ASSERT_TRUE(writer.CheckpointDelta(d1).ok());
+
+  BackendSegmentRecord d2 = d1;
+  d2.seal_time = 12;
+  d2.unow = 12;
+  d2.prefix_entries = 3;
+  d2.suffix_offset = 3 * 4096;
+  d2.suffix_length = 4096;
+  d2.entries = {entry(10, 4, 3 * 4096)};
+  ASSERT_TRUE(writer.CheckpointDelta(d2).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  FileBackend reader;
+  StoreStats rstats;
+  ASSERT_TRUE(reader.Open(cfg, 0, 1, &rstats, /*recover=*/true).ok());
+  BackendRecovery out;
+  ASSERT_TRUE(reader.Scan(&out).ok());
+  ASSERT_EQ(out.segments.size(), 1u);
+  EXPECT_TRUE(out.segments[0].checkpoint);
+  EXPECT_FALSE(out.segments[0].delta);
+  ASSERT_EQ(out.deltas.size(), 2u);
+
+  const BackendSegmentRecord& r1 = out.deltas[0];
+  const BackendSegmentRecord& r2 = out.deltas[1];
+  EXPECT_EQ(r1.id, 3u);
+  EXPECT_TRUE(r1.delta);
+  EXPECT_EQ(r1.prefix_entries, 2u);
+  EXPECT_EQ(r1.suffix_offset, 2u * 4096u);
+  EXPECT_EQ(r1.suffix_length, 4096u);
+  ASSERT_EQ(r1.entries.size(), 1u);
+  EXPECT_EQ(r1.entries[0].page, 9u);
+  EXPECT_EQ(r1.entries[0].seq, 3u);
+  EXPECT_EQ(r2.prefix_entries, 3u);
+  ASSERT_EQ(r2.entries.size(), 1u);
+  EXPECT_EQ(r2.entries[0].page, 10u);
+
+  // The chain is encoded in ordinals: base <- d1 <- d2, strictly
+  // increasing with log position.
+  EXPECT_GT(r1.ordinal, out.segments[0].ordinal);
+  EXPECT_GT(r2.ordinal, r1.ordinal);
+  EXPECT_EQ(r1.base_ordinal, out.segments[0].ordinal);
+  EXPECT_EQ(r2.base_ordinal, r1.ordinal);
+}
+
+// The backend refuses a delta without a live chain base: after a free
+// record for the slot (which erases every earlier record of the slot on
+// replay) or under a stale generation, a suffix record would chain to
+// nothing, so only a full checkpoint may restart the chain.
+TEST_F(IoBackendTest, DeltaWithoutChainBaseIsRejected) {
+  const StoreConfig cfg = FileConfig(/*fsync=*/true);
+  StoreStats wstats;
+  FileBackend writer;
+  ASSERT_TRUE(writer.Open(cfg, 0, 1, &wstats, /*recover=*/false).ok());
+
+  BackendSegmentRecord base;
+  base.id = 3;
+  base.source = SegmentSource::kUser;
+  base.seal_time = 5;
+  base.unow = 5;
+  base.checkpoint = true;
+  Segment::Entry e;
+  e.page = 7;
+  e.bytes = 4096;
+  e.seq = 1;
+  e.last_update = 5;
+  base.entries = {e};
+
+  BackendSegmentRecord d;
+  d.id = 3;
+  d.source = SegmentSource::kUser;
+  d.seal_time = 9;
+  d.unow = 9;
+  d.checkpoint = true;
+  d.delta = true;
+  d.prefix_entries = 1;
+  d.suffix_offset = 4096;
+  d.suffix_length = 4096;
+  Segment::Entry e2 = e;
+  e2.page = 8;
+  e2.seq = 2;
+  e2.offset = 4096;
+  d.entries = {e2};
+
+  // No checkpoint for the slot yet: no chain to extend.
+  EXPECT_EQ(writer.CheckpointDelta(d).code(),
+            Status::Code::kInvalidArgument);
+
+  // A generation mismatch (the slot was refilled since the base) is a
+  // caller bug the backend refuses to write through.
+  ASSERT_TRUE(writer.Checkpoint(base).ok());
+  d.generation = base.generation + 1;
+  EXPECT_EQ(writer.CheckpointDelta(d).code(),
+            Status::Code::kInvalidArgument);
+  d.generation = base.generation;
+  ASSERT_TRUE(writer.CheckpointDelta(d).ok());
+
+  // A free record closes the chain; the next delta must be refused
+  // until a full checkpoint restarts it.
+  ASSERT_TRUE(writer.ReclaimSegment(3, /*unow=*/15).ok());
+  BackendSegmentRecord d3 = d;
+  d3.prefix_entries = 2;
+  d3.suffix_offset = 2 * 4096;
+  Segment::Entry e3 = e;
+  e3.page = 9;
+  e3.seq = 3;
+  e3.offset = 2 * 4096;
+  d3.entries = {e3};
+  EXPECT_EQ(writer.CheckpointDelta(d3).code(),
+            Status::Code::kInvalidArgument);
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+// A slot-generation change between checkpoint rounds forces the shard
+// back to a full record: the chain the slot carried belongs to the
+// previous occupant. Sync file backend + zero write buffer makes every
+// step deterministic.
+TEST_F(IoBackendTest, GenerationChangeForcesFullCheckpoint) {
+  StoreConfig cfg = FileConfig();
+  cfg.checkpoint_interval_ops = 1u << 30;  // only explicit barriers
+  cfg.checkpoint_delta = true;
+  auto store = LogStructuredStore::Create(cfg, MakePolicy(Variant::kGreedy));
+  ASSERT_NE(store, nullptr);
+
+  // Two pages into a 4-page segment, then a barrier: the chain starts
+  // with one full record.
+  ASSERT_TRUE(store->Write(0).ok());
+  ASSERT_TRUE(store->Write(1).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  StoreStats s = store->StatsSnapshot();
+  EXPECT_EQ(s.checkpoint_full_records, 1u);
+  EXPECT_EQ(s.checkpoint_delta_records, 0u);
+
+  // One more page: the next barrier extends the chain with a delta.
+  ASSERT_TRUE(store->Write(2).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  s = store->StatsSnapshot();
+  EXPECT_EQ(s.checkpoint_full_records, 1u);
+  EXPECT_EQ(s.checkpoint_delta_records, 1u);
+
+  // An unchanged open segment is already covered: barrier is a no-op.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  s = store->StatsSnapshot();
+  EXPECT_EQ(s.checkpoint_full_records, 1u);
+  EXPECT_EQ(s.checkpoint_delta_records, 1u);
+
+  // Fill the segment (seal bumps the slot generation), then start a new
+  // open segment: its checkpoint must be a full record again.
+  ASSERT_TRUE(store->Write(3).ok());
+  ASSERT_TRUE(store->Write(0).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  s = store->StatsSnapshot();
+  EXPECT_EQ(s.checkpoint_full_records, 2u);
+  EXPECT_EQ(s.checkpoint_delta_records, 1u);
+
+  // The chained state recovers.
+  ASSERT_TRUE(store->Close().ok());
+  Status st;
+  auto reopened =
+      LogStructuredStore::Open(cfg, MakePolicy(Variant::kGreedy), &st);
+  ASSERT_NE(reopened, nullptr) << st.ToString();
+  EXPECT_TRUE(reopened->CheckInvariants().ok());
+  EXPECT_EQ(reopened->LivePageCount(), 4u);
+  ASSERT_TRUE(reopened->Close().ok());
+}
+
 // A re-homing record round-trips through the metadata log: the reader
 // hands it back separately from the seals, in replay order, with the
 // log-position ordinal that lets recovery break equal-seq ties in its

@@ -116,6 +116,13 @@ struct TortureGeometry {
   Variant variant = Variant::kGreedy;
   uint32_t segments_per_shard = 32;
   PageId pages_per_shard = 110;  // fill ~0.4 at max size (default geo)
+  // Periodic-checkpoint cadence (backend ops) for TortureConfig.
+  uint32_t checkpoint_interval = 12;
+  // > 0: the torture phases issue an explicit Checkpoint() barrier every
+  // this many driver ops, so partially-filled open segments are
+  // re-checkpointed as they grow — the regime where suffix-only delta
+  // records chain off a full base.
+  uint32_t barrier_every = 0;
 };
 
 // The geometry that reliably reaches the withheld-slot fallback (see
@@ -143,7 +150,7 @@ StoreConfig TortureConfig(uint32_t num_shards, bool async_seal,
   c.backend_fsync = true;
   c.async_seal = async_seal;
   c.seal_queue_depth = 4;
-  c.checkpoint_interval_ops = 12;
+  c.checkpoint_interval_ops = geo.checkpoint_interval;
   return c;
 }
 
@@ -236,7 +243,8 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
                          uint64_t seed, bool async_seal, bool audit_reuse,
                          const TortureGeometry& geo = {},
                          uint64_t* rehomed_reuses_out = nullptr,
-                         uint64_t* plain_reuses_out = nullptr) {
+                         uint64_t* plain_reuses_out = nullptr,
+                         uint64_t* delta_records_out = nullptr) {
   SCOPED_TRACE("seed=" + std::to_string(seed) +
                " shards=" + std::to_string(num_shards) +
                " async=" + std::to_string(async_seal) +
@@ -266,6 +274,10 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
   for (int i = 0; i < phase1_ops; ++i) {
     ASSERT_TRUE(ApplyRandomOp(store.get(), &model, num_pages, &rng))
         << "unexpected failure before the crash was armed (op " << i << ")";
+    if (geo.barrier_every > 0 &&
+        (i + 1) % static_cast<int>(geo.barrier_every) == 0) {
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
   }
 
   // Durable frontier: everything acknowledged so far must survive any
@@ -289,6 +301,12 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
   // reached the device before the error surfaced).
   for (int i = 0; i < phase2_ops; ++i) {
     (void)ApplyRandomOp(store.get(), &model, num_pages, &rng);
+    if (geo.barrier_every > 0 &&
+        (i + 1) % static_cast<int>(geo.barrier_every) == 0) {
+      // Dead shards reject the barrier; healthy ones just gain extra
+      // durability beyond the modelled frontier, which the audit allows.
+      (void)store->Checkpoint();
+    }
   }
 
   // Read the fallback-diversion counters before the kill wipes them.
@@ -303,6 +321,9 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
     }
     if (plain_reuses_out != nullptr) {
       *plain_reuses_out += snap.withheld_slot_reuses_plain;
+    }
+    if (delta_records_out != nullptr) {
+      *delta_records_out += snap.checkpoint_delta_records;
     }
   }
 
@@ -340,7 +361,8 @@ void RunTortureIteration(const std::string& dir, uint32_t num_shards,
     Rng rng2(seed ^ 0xDEADBEEF);
     for (int i = 0; i < 300; ++i) {
       const PageId p = rng2.NextBounded(num_pages);
-      ASSERT_TRUE(reopened->Write(p, VersionBytes(p, i)).ok()) << i;
+      const Status ws = reopened->Write(p, VersionBytes(p, i));
+      ASSERT_TRUE(ws.ok()) << "op " << i << ": " << ws.ToString();
     }
     ASSERT_TRUE(reopened->CheckInvariants().ok());
     ASSERT_TRUE(reopened->Close().ok());
@@ -420,6 +442,44 @@ TEST_F(CrashRecoveryTest, TortureMultiLogTinyFreePool) {
               "withheld-slot reuses across %d iterations, zero losses\n",
               static_cast<unsigned long long>(total_rehomed),
               static_cast<unsigned long long>(total_plain), iters);
+}
+
+// The regime where delta checkpoints chain: a short periodic interval
+// plus explicit barriers every few dozen driver ops re-checkpoint the
+// multi-log geometry's partially-filled open segments as they grow, so
+// most open-segment state on the device is a full base record plus a
+// chain of suffix records by the time the kill lands.
+TortureGeometry DeltaChainGeometry() {
+  TortureGeometry geo = MultiLogTinyPoolGeometry();
+  geo.checkpoint_interval = 4;
+  geo.barrier_every = 40;
+  return geo;
+}
+
+// Delta-chain torture: every iteration recovers open segments from
+// full-base + suffix chains (torn tails included) under the same strict
+// zero-loss audit as every other geometry — and the geometry must
+// actually emit delta records, or it is not testing what it claims to.
+TEST_F(CrashRecoveryTest, TortureDeltaCheckpointChains) {
+  const TortureGeometry geo = DeltaChainGeometry();
+  const int iters = std::max(TortureIters() / 4, 25);
+  uint64_t total_deltas = 0;
+  for (int i = 0; i < iters; ++i) {
+    RunTortureIteration(dir_, /*num_shards=*/1, /*seed=*/50000 + i,
+                        /*async_seal=*/(i % 2) == 1,
+                        /*audit_reuse=*/(i % 8) == 0, geo,
+                        /*rehomed_reuses_out=*/nullptr,
+                        /*plain_reuses_out=*/nullptr, &total_deltas);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      FAIL() << "delta-chain torture iteration " << i << " failed";
+    }
+  }
+  EXPECT_GT(total_deltas, 0u)
+      << "delta-chain geometry never emitted a delta checkpoint; shorten "
+         "the barrier period";
+  std::printf("delta-chain torture: %llu delta records across %d "
+              "iterations, zero losses\n",
+              static_cast<unsigned long long>(total_deltas), iters);
 }
 
 // Pinned regression seeds: before entry re-homing landed, these exact
@@ -628,6 +688,154 @@ TEST_F(CrashRecoveryTest, KillPointsInsideRehomeEmission) {
   // after its fsync; verify both sides were actually exercised.
   EXPECT_TRUE(saw_crash_at_or_before_rehome);
   EXPECT_TRUE(saw_crash_after_rehome);
+}
+
+// Kill points aimed at the delta-checkpoint emission itself. A probe
+// run (unarmed, sync, delta-chain geometry) finds a seed whose workload
+// emits its first suffix record after the frontier and brackets the
+// exact mutating-op range of the driver step (op + possible barrier)
+// that emitted it; the sweep re-runs the identical workload armed with
+// every budget in that bracket. One budget kills the delta exactly —
+// TearAndDie then garbles a partial prefix of the suffix payload range
+// and the metadata tail, i.e. a torn suffix over payload whose prefix
+// an earlier record of the same chain still covers — and the budgets
+// just past it crash after the delta's fsync but before anything later
+// is durable. Every budget must recover with zero lost acknowledged
+// writes: the torn suffix must be discarded without corrupting the
+// chain below it.
+TEST_F(CrashRecoveryTest, KillPointsInsideDeltaEmission) {
+  const TortureGeometry geo = DeltaChainGeometry();
+  const StoreConfig cfg = TortureConfig(1, /*async_seal=*/false, dir_, geo);
+  const PageId num_pages = geo.pages_per_shard;
+  constexpr int kWarmOps = 600;
+  constexpr int kMaxProbeOps = 1600;
+  constexpr int kBarrierEvery = 25;
+
+  auto make_store = [&](FaultInjectionBackend** fault,
+                        Status* st) -> std::unique_ptr<ShardedStore> {
+    return ShardedStore::Create(
+        cfg, 1, [] { return MakePolicy(Variant::kMultiLog); }, st,
+        [fault](uint32_t) -> std::unique_ptr<SegmentBackend> {
+          auto f = std::make_unique<FaultInjectionBackend>(
+              std::make_unique<FileBackend>());
+          *fault = f.get();
+          return f;
+        });
+  };
+  auto mutating_ops = [](const FaultInjectionBackend& f) {
+    return f.seals() + f.checkpoints() + f.delta_checkpoints() +
+           f.reclaims() + f.deletes() + f.syncs() + f.rehomes();
+  };
+
+  // Probe: find a seed that emits a delta after the frontier and the
+  // mutating-op range [lo_op, hi_op] (counted from the arming point,
+  // 1-based) of the driver step during which it fired.
+  uint64_t seed = 0;
+  int flip_driver_op = -1;
+  int64_t lo_op = 0;
+  int64_t hi_op = 0;
+  for (uint64_t cand = 60000; cand < 60020 && flip_driver_op < 0; ++cand) {
+    Rng rng(cand);
+    std::vector<PageModel> model(num_pages);
+    FaultInjectionBackend* fault = nullptr;
+    Status st;
+    auto store = make_store(&fault, &st);
+    ASSERT_NE(store, nullptr) << st.ToString();
+    for (int i = 0; i < kWarmOps; ++i) {
+      ASSERT_TRUE(ApplyRandomOp(store.get(), &model, num_pages, &rng));
+      if ((i + 1) % kBarrierEvery == 0) {
+        ASSERT_TRUE(store->Checkpoint().ok());
+      }
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    const int64_t base = mutating_ops(*fault);
+    const int64_t deltas_at_frontier = fault->delta_checkpoints();
+    for (int i = 0; i < kMaxProbeOps; ++i) {
+      const int64_t before = mutating_ops(*fault);
+      ASSERT_TRUE(ApplyRandomOp(store.get(), &model, num_pages, &rng));
+      if ((i + 1) % kBarrierEvery == 0) {
+        ASSERT_TRUE(store->Checkpoint().ok());
+      }
+      if (fault->delta_checkpoints() > deltas_at_frontier) {
+        seed = cand;
+        flip_driver_op = i;
+        lo_op = before - base + 1;
+        hi_op = mutating_ops(*fault) - base;
+        break;
+      }
+    }
+    ASSERT_TRUE(store->Close().ok());
+  }
+  ASSERT_GE(flip_driver_op, 0)
+      << "no probe seed emitted a delta within the op budget; widen the "
+         "probe";
+  std::printf("delta kill points: seed=%llu, delta inside mutating ops "
+              "[%lld, %lld] after the frontier\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(lo_op), static_cast<long long>(hi_op));
+
+  // Sweep: budget b kills the (b+1)-th mutating op after arming, so
+  // budgets [lo_op-1, hi_op-1] kill every op of the flip driver step —
+  // the delta among them — and a margin on both sides covers the record
+  // just before it and the crash right after its fsync.
+  bool saw_crash_at_or_before_delta = false;
+  bool saw_crash_after_delta = false;
+  const int64_t lo_budget = std::max<int64_t>(0, lo_op - 4);
+  const int64_t hi_budget = hi_op + 3;
+  for (int64_t budget = lo_budget; budget <= hi_budget; ++budget) {
+    SCOPED_TRACE("delta kill budget " + std::to_string(budget));
+    Rng rng(seed);
+    std::vector<PageModel> model(num_pages);
+    FaultInjectionBackend* fault = nullptr;
+    Status st;
+    auto store = make_store(&fault, &st);
+    ASSERT_NE(store, nullptr) << st.ToString();
+    for (int i = 0; i < kWarmOps; ++i) {
+      ASSERT_TRUE(ApplyRandomOp(store.get(), &model, num_pages, &rng));
+      if ((i + 1) % kBarrierEvery == 0) {
+        ASSERT_TRUE(store->Checkpoint().ok());
+      }
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    for (PageModel& pm : model) pm.frontier = pm.ops.size();
+    const int64_t deltas_at_frontier = fault->delta_checkpoints();
+    fault->CrashAfterOps(budget, /*seed=*/6160 + static_cast<uint64_t>(budget));
+    for (int i = 0; i < flip_driver_op + 120; ++i) {
+      (void)ApplyRandomOp(store.get(), &model, num_pages, &rng);
+      if ((i + 1) % kBarrierEvery == 0) (void)store->Checkpoint();
+    }
+    (void)store->Close();
+    const bool crashed = fault->crashed();
+    EXPECT_TRUE(crashed) << "budget never exhausted; the sweep is not "
+                            "hitting the delta-emission window";
+    if (crashed && fault->delta_checkpoints() == deltas_at_frontier) {
+      saw_crash_at_or_before_delta = true;
+    }
+    if (crashed && fault->delta_checkpoints() > deltas_at_frontier) {
+      saw_crash_after_delta = true;
+    }
+    store.reset();
+    auto reopened = ShardedStore::Open(
+        cfg, 1, [] { return MakePolicy(Variant::kGreedy); }, &st);
+    ASSERT_NE(reopened, nullptr) << st.ToString();
+    ASSERT_TRUE(reopened->CheckInvariants().ok());
+    for (PageId p = 0; p < num_pages; ++p) {
+      if (model[p].ops.empty()) continue;
+      if (crashed) {
+        AuditCrashedPage(*reopened, p, model[p]);
+      } else {
+        AuditCleanPage(*reopened, p, model[p]);
+      }
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      FAIL() << "delta kill budget " << budget << " failed";
+    }
+  }
+  // The contiguous bracket guarantees the boundary budget killed the
+  // delta op itself (torn suffix + torn record tail) and a later one
+  // crashed after its fsync; verify both sides were actually exercised.
+  EXPECT_TRUE(saw_crash_at_or_before_delta);
+  EXPECT_TRUE(saw_crash_after_delta);
 }
 
 }  // namespace
