@@ -1,9 +1,11 @@
 #ifndef LSS_BENCH_BENCH_COMMON_H_
 #define LSS_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +17,34 @@
 
 namespace lss::bench {
 
+/// Strict base-10 integer parsing for the LSS_BENCH_* knobs: `s` must be
+/// entirely an integer in [min, max], or the bench exits(2) naming the
+/// offending variable. A typo'd knob must never silently clamp to a
+/// default mid-experiment — the run would report results for a
+/// configuration the user did not ask for.
+inline int64_t ParseEnvInt(const char* name, const char* s, int64_t min,
+                           int64_t max) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < min || v > max) {
+    std::fprintf(stderr,
+                 "%s: invalid value '%s' (want an integer in [%lld, %lld])\n",
+                 name, s, static_cast<long long>(min),
+                 static_cast<long long>(max));
+    std::exit(2);
+  }
+  return static_cast<int64_t>(v);
+}
+
+/// getenv + ParseEnvInt; `def` when the variable is unset or empty.
+inline int64_t EnvInt(const char* name, int64_t def, int64_t min,
+                      int64_t max) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return def;
+  return ParseEnvInt(name, s, min, max);
+}
+
 /// Shared device geometry for the paper-reproduction benches. The paper
 /// simulates a 100 GB device (51 200 x 2 MB segments) and writes 10 TB;
 /// it notes device size does not affect write amplification (§6.1.1
@@ -23,10 +53,8 @@ namespace lss::bench {
 /// per configuration. Set LSS_BENCH_SCALE=N (default 1) to multiply the
 /// device size and run length for higher-fidelity runs.
 inline uint32_t ScaleFactor() {
-  const char* s = std::getenv("LSS_BENCH_SCALE");
-  if (s == nullptr) return 1;
-  const long v = std::strtol(s, nullptr, 10);
-  return v < 1 ? 1 : static_cast<uint32_t>(v);
+  return static_cast<uint32_t>(
+      EnvInt("LSS_BENCH_SCALE", 1, 1, 1 << 20));
 }
 
 inline StoreConfig DefaultConfig() {
@@ -77,10 +105,8 @@ inline EvictionPolicyKind PoolPolicy() {
 /// trace-cache key so cached traces from different checkpoint settings
 /// never alias. Unset keeps each bench's default.
 inline uint32_t CheckpointInterval(uint32_t def) {
-  const char* s = std::getenv("LSS_BENCH_CKPT_INTERVAL");
-  if (s == nullptr || *s == '\0') return def;
-  const long v = std::strtol(s, nullptr, 10);
-  return v < 0 ? def : static_cast<uint32_t>(v);
+  return static_cast<uint32_t>(EnvInt("LSS_BENCH_CKPT_INTERVAL", def, 0,
+                                      std::numeric_limits<uint32_t>::max()));
 }
 
 /// Segments hovering in the free pool / open in steady state — slack the

@@ -25,6 +25,7 @@
 //                         a separate trace cache entry per policy)
 //   LSS_BENCH_JSON=path   machine-readable results (bench_common.h)
 
+#include <algorithm>
 #include <cinttypes>
 #include <unistd.h>
 #include <cstdio>
@@ -40,12 +41,16 @@ namespace lss {
 namespace {
 
 // Generation workers / replay shards (LSS_BENCH_THREADS; first value if
-// a sweep list is given, since fig6 runs one configuration).
+// a sweep list is given, since fig6 runs one configuration). The value
+// is parsed strictly: garbage exits(2) instead of clamping to 1.
 uint32_t BenchThreads() {
   const char* env = std::getenv("LSS_BENCH_THREADS");
   if (env == nullptr || *env == '\0') return 1;
-  const long v = std::strtol(env, nullptr, 10);
-  return v < 1 ? 1 : static_cast<uint32_t>(v);
+  std::string first(env);
+  const size_t comma = first.find(',');
+  if (comma != std::string::npos) first.resize(comma);
+  return static_cast<uint32_t>(
+      bench::ParseEnvInt("LSS_BENCH_THREADS", first.c_str(), 1, 4096));
 }
 
 bool SmokeMode() {
@@ -226,8 +231,17 @@ void Run() {
   const uint32_t scale = bench::ScaleFactor();
   const uint32_t threads = BenchThreads();
   const bool smoke = SmokeMode();
+  // Generation workers and replay shards both default to `threads`, but
+  // the smoke database is too small to carve into many replay shards
+  // (per-shard cleaner geometry would be invalid), so smoke caps the
+  // replay side at 2 — generation still runs all `threads` workers,
+  // which is what the workers-beyond-warehouses CI gate exercises.
+  const uint32_t replay_shards = smoke ? std::min(threads, 2u) : threads;
   TpccConfig tc;
-  tc.warehouses = smoke ? std::max(2u, threads) : 4 * scale;
+  // Smoke pins 2 warehouses regardless of the thread count: with
+  // LSS_BENCH_THREADS > 2 this exercises the workers-beyond-warehouses
+  // path (several sessions sharing a partition group) in CI.
+  tc.warehouses = smoke ? 2 : 4 * scale;
   tc.districts_per_warehouse = smoke ? 4 : 10;
   tc.customers_per_district = smoke ? 120 : 400;
   tc.items = smoke ? 500 : 5000;
@@ -267,7 +281,9 @@ void Run() {
   const CachedTrace cached =
       GenerateOrLoadTrace(tc, warm_txns, measure_txns,
                           /*checkpoint_every=*/bench::CheckpointInterval(2000),
-                          /*presplit_shards=*/threads > 1 ? threads : 0);
+                          /*presplit_shards=*/replay_shards > 1
+                              ? replay_shards
+                              : 0);
   const tpcc::TpccTraceResult& gen = cached.gen;
   if (cached.from_cache) {
     std::printf("trace (cached): %zu page writes (%zu measured), db grew "
@@ -335,9 +351,9 @@ void Run() {
     for (Variant v : lines) {
       RunResult r;
       double replay_seconds = 0.0;
-      if (threads > 1) {
+      if (replay_shards > 1) {
         const ParallelRunResult pr = RunTraceParallel(
-            cfg, v, gen.trace, gen.measure_from, threads,
+            cfg, v, gen.trace, gen.measure_from, replay_shards,
             gen.presplit.Valid() ? &gen.presplit : nullptr);
         r = pr.result;
         replay_seconds = pr.measure_seconds;
@@ -359,16 +375,16 @@ void Run() {
             .Num("measured_updates", r.measured_updates)
             .Num("effective_fill", r.effective_fill)
             .Num("threads", static_cast<uint64_t>(threads));
-        if (threads > 1) json.Num("replay_seconds", replay_seconds);
+        if (replay_shards > 1) json.Num("replay_seconds", replay_seconds);
         bench::Emit(json);
       }
     }
     table.AddRow(std::move(row));
   }
-  if (threads > 1) {
+  if (replay_shards > 1) {
     std::printf("replay: RunTraceParallel over %u shards (per-page order "
                 "preserved; Wamp is the per-shard-cleaned aggregate)\n\n",
-                threads);
+                replay_shards);
   }
   table.Print(stdout);
 }

@@ -182,7 +182,8 @@ void BufferPool::HintRebuild(Partition& part) {
 
 // --- Latch-free hit path ------------------------------------------------
 
-uint8_t* BufferPool::TryLatchFreeHit(Partition& part, PageNo page) {
+BufferPool::Frame* BufferPool::TryLatchFreeHit(Partition& part,
+                                               PageNo page) {
   uint64_t s = SplitMix64(page) & part.hint_mask;
   for (size_t probe = 0; probe <= part.hint_mask; ++probe) {
     const uint64_t slot = part.hints[s].load(std::memory_order_acquire);
@@ -206,7 +207,7 @@ uint8_t* BufferPool::TryLatchFreeHit(Partition& part, PageNo page) {
       }
       f.ref.store(1, std::memory_order_relaxed);
       part.hits.fetch_add(1, std::memory_order_relaxed);
-      return f.data.data();
+      return &f;
     }
     s = (s + 1) & part.hint_mask;
   }
@@ -307,15 +308,39 @@ size_t BufferPool::PinLocked(Partition& part, PageNo page,
   return idx;
 }
 
-uint8_t* BufferPool::Pin(PageNo page) {
+BufferPool::Frame& BufferPool::PinFrame(PageNo page) {
   Partition& part = PartitionFor(page);
   if (latch_free_ops_) {
-    if (uint8_t* data = TryLatchFreeHit(part, page)) return data;
+    if (Frame* f = TryLatchFreeHit(part, page)) return *f;
   }
   std::lock_guard<std::mutex> lock(part.mu);
   part.latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
   const size_t idx = PinLocked(part, page, /*load_from_pager=*/true);
-  return part.frames[idx].data.data();
+  return part.frames[idx];
+}
+
+uint8_t* BufferPool::Pin(PageNo page) {
+  return PinFrame(page).data.data();
+}
+
+void BufferPool::UnpinFrame(Frame& f, PageNo page, bool dirty) {
+  if (latch_free_ops_) {
+    // The caller's pin keeps the frame resident; no lookup or latch is
+    // needed. Publish the dirty mark before the release decrement an
+    // eviction claim synchronises with.
+    if (dirty) f.dirty.store(true, std::memory_order_relaxed);
+    f.pins.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  Partition& part = PartitionFor(page);
+  std::lock_guard<std::mutex> lock(part.mu);
+  part.latch_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (dirty) f.dirty.store(true, std::memory_order_relaxed);
+  const uint32_t old = f.pins.fetch_sub(1, std::memory_order_release);
+  assert((old & ~kEvicting) > 0);
+  if ((old & ~kEvicting) == 1) {
+    part.policy->OnUnpin(static_cast<size_t>(&f - part.frames.data()));
+  }
 }
 
 void BufferPool::Unpin(PageNo page, bool dirty) {

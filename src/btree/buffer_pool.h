@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,17 @@
 #include "util/rng.h"
 
 namespace lss {
+
+/// How a PageRef acquires the page latch of the frame it pins. The latch
+/// is a reader-writer lock stored in the frame state next to the pin
+/// word; a latch is only ever held while the frame is pinned (pin first,
+/// latch second; unlatch before unpin), so eviction — which claims only
+/// frames with zero pins — can never recycle a latched frame.
+enum class LatchMode : uint8_t {
+  kNone = 0,       ///< pin only; caller synchronises the bytes itself
+  kShared = 1,     ///< shared page latch: concurrent readers
+  kExclusive = 2,  ///< exclusive page latch: sole writer of the bytes
+};
 
 /// Buffer cache over a Pager, the component that shapes the page write
 /// I/O stream the paper's TPC-C experiment consumes ("The buffer cache
@@ -48,9 +60,14 @@ namespace lss {
 ///  - kTwoQ: latched like LRU, but scan-resistant (see the policy).
 ///
 /// Frame-content contract: the pool synchronises its own metadata, not
-/// the cached bytes. Callers must not mutate a page's bytes concurrently
-/// with another thread's access to the same page (the B+-tree layer
-/// guarantees this by running all writes to a tree under one lock).
+/// the cached bytes. Each frame carries a reader-writer page latch
+/// (acquired through PageRef's LatchMode, always under a pin) that
+/// callers use to order accesses to the same page's bytes — the B+-tree
+/// couples these latches during descent. Callers that pin with
+/// LatchMode::kNone must order accesses themselves (quiescent phases,
+/// single-threaded use, or an external happens-before chain). Eviction
+/// and FlushAll need no latch awareness: both claim a frame only when
+/// its pin count is zero, and a latch is only ever held under a pin.
 /// FlushAll skips frames that are pinned at flush time — their bytes are
 /// in active use — leaving them dirty for a later eviction or flush.
 class BufferPool {
@@ -124,6 +141,9 @@ class BufferPool {
     std::atomic<uint32_t> pins{0};
     std::atomic<bool> dirty{false};
     std::atomic<uint8_t> ref{0};  // reference bit; set on every access
+    // Page latch (see LatchMode). Held only while pins > 0, so the latch
+    // always refers to the page currently cached in this frame.
+    std::shared_mutex latch;
   };
 
   // Lock-free page -> frame-index hint table (only populated for
@@ -175,9 +195,30 @@ class BufferPool {
   }
 
   // Latch-free hit path (latch-free policies only): returns the pinned
-  // frame's bytes, or nullptr when the page must go through the latched
-  // path (not hinted, mid-eviction, or a stale hint).
-  uint8_t* TryLatchFreeHit(Partition& part, PageNo page);
+  // frame, or nullptr when the page must go through the latched path
+  // (not hinted, mid-eviction, or a stale hint).
+  Frame* TryLatchFreeHit(Partition& part, PageNo page);
+
+  // Pin/unpin by frame identity (PageRef's backend). PinFrame is Pin()
+  // returning the frame itself so the caller can reach its page latch;
+  // UnpinFrame skips the page->frame lookup a plain Unpin needs.
+  Frame& PinFrame(PageNo page);
+  void UnpinFrame(Frame& f, PageNo page, bool dirty);
+
+  static void LatchFrame(Frame& f, LatchMode mode) {
+    if (mode == LatchMode::kShared) {
+      f.latch.lock_shared();
+    } else if (mode == LatchMode::kExclusive) {
+      f.latch.lock();
+    }
+  }
+  static void UnlatchFrame(Frame& f, LatchMode mode) {
+    if (mode == LatchMode::kShared) {
+      f.latch.unlock_shared();
+    } else if (mode == LatchMode::kExclusive) {
+      f.latch.unlock();
+    }
+  }
 
   // Hint-table maintenance; all run under part.mu.
   void HintInsert(Partition& part, PageNo page, size_t idx);
@@ -191,6 +232,8 @@ class BufferPool {
   size_t EvictOne(Partition& part);  // returns the freed, claimed frame
   size_t PinLocked(Partition& part, PageNo page, bool load_from_pager);
 
+  friend class PageRef;
+
   Pager* pager_;
   size_t capacity_;
   WriteObserver observer_;
@@ -199,12 +242,19 @@ class BufferPool {
   std::vector<std::unique_ptr<Partition>> parts_;
 };
 
-/// RAII pin on a buffer-pool page. Move-only.
+/// RAII pin on a buffer-pool page, optionally holding the frame's page
+/// latch for its lifetime (LatchMode; default is a plain pin). Move-only.
+/// Acquisition order is pin-then-latch; Release unlatches before it
+/// unpins, so the latch always covers a pinned (eviction-proof) frame.
 class PageRef {
  public:
   PageRef() = default;
-  PageRef(BufferPool* pool, PageNo page)
-      : pool_(pool), page_(page), data_(pool->Pin(page)) {}
+  PageRef(BufferPool* pool, PageNo page, LatchMode mode = LatchMode::kNone)
+      : pool_(pool), page_(page), mode_(mode),
+        frame_(&pool->PinFrame(page)) {
+    BufferPool::LatchFrame(*frame_, mode_);
+    data_ = frame_->data.data();
+  }
 
   PageRef(PageRef&& o) noexcept { *this = std::move(o); }
   PageRef& operator=(PageRef&& o) noexcept {
@@ -213,8 +263,11 @@ class PageRef {
     page_ = o.page_;
     data_ = o.data_;
     dirty_ = o.dirty_;
+    mode_ = o.mode_;
+    frame_ = o.frame_;
     o.pool_ = nullptr;
     o.data_ = nullptr;
+    o.frame_ = nullptr;
     return *this;
   }
   PageRef(const PageRef&) = delete;
@@ -226,6 +279,7 @@ class PageRef {
   uint8_t* data() { return data_; }
   const uint8_t* data() const { return data_; }
   PageNo page() const { return page_; }
+  LatchMode mode() const { return mode_; }
   bool Valid() const { return data_ != nullptr; }
 
   /// Marks the page dirty; it will be written back on eviction/flush.
@@ -234,11 +288,14 @@ class PageRef {
   /// Explicit early release (also done by the destructor).
   void Release() {
     if (pool_ != nullptr && data_ != nullptr) {
-      pool_->Unpin(page_, dirty_);
+      BufferPool::UnlatchFrame(*frame_, mode_);
+      pool_->UnpinFrame(*frame_, page_, dirty_);
     }
     pool_ = nullptr;
     data_ = nullptr;
+    frame_ = nullptr;
     dirty_ = false;
+    mode_ = LatchMode::kNone;
   }
 
  private:
@@ -247,6 +304,8 @@ class PageRef {
   PageNo page_ = kInvalidPageNo;
   uint8_t* data_ = nullptr;
   bool dirty_ = false;
+  LatchMode mode_ = LatchMode::kNone;
+  BufferPool::Frame* frame_ = nullptr;
 };
 
 }  // namespace lss

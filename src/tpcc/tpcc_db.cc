@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tpcc/keys.h"
+#include "util/rng.h"
 
 namespace lss::tpcc {
 
@@ -15,6 +16,17 @@ namespace {
 BufferPool::WriteObserver MakeTraceObserver(Trace* trace) {
   if (trace == nullptr) return BufferPool::WriteObserver();
   return [trace](PageNo p) { trace->AppendWrite(p); };
+}
+
+// Row-identity hashes for the striped row-lock table. The tag keeps
+// stock and customer rows from systematically sharing stripes.
+uint64_t StockRowHash(uint32_t w, uint32_t i_id) {
+  return SplitMix64((1ull << 40) ^ (static_cast<uint64_t>(w) << 20) ^ i_id);
+}
+
+uint64_t CustomerRowHash(uint32_t w, uint32_t d, uint32_t c) {
+  return SplitMix64((2ull << 40) ^ (static_cast<uint64_t>(w) << 24) ^
+                    (static_cast<uint64_t>(d) << 16) ^ c);
 }
 
 }  // namespace
@@ -53,10 +65,19 @@ void TpccDb::InitPartitions() {
     parts_.push_back(std::move(part));
   }
   item_ = std::make_unique<BTree>(&pool_);
+
+  wstate_.reserve(config_.warehouses);
+  for (uint32_t w = 0; w < config_.warehouses; ++w) {
+    auto ws = std::make_unique<WarehouseState>();
+    ws->district_mu =
+        std::make_unique<std::mutex[]>(config_.districts_per_warehouse);
+    wstate_.push_back(std::move(ws));
+  }
+  row_locks_ = std::make_unique<std::mutex[]>(kRowLockStripes);
 }
 
 TpccDb::Session TpccDb::MakeSession(uint32_t worker) const {
-  assert(worker < parts_.size());
+  assert(worker < workers());
   // Worker 0 reproduces the built-in session's stream; other workers get
   // decorrelated streams off the same seed.
   return Session(config_.seed + worker * 0x9E3779B97F4A7C15ull, worker);
@@ -64,18 +85,19 @@ TpccDb::Session TpccDb::MakeSession(uint32_t worker) const {
 
 uint32_t TpccDb::HomeWarehouse(Session& s) {
   const uint32_t groups = static_cast<uint32_t>(parts_.size());
+  const uint32_t g = s.worker_ % groups;
   const uint32_t count = HomeWarehouseCount(s.worker_);
   const uint32_t idx = static_cast<uint32_t>(s.rnd_.Uniform(1, count));
-  return s.worker_ + 1 + (idx - 1) * groups;
+  return g + 1 + (idx - 1) * groups;
 }
 
 // --- Population ----------------------------------------------------------
 
 void TpccDb::Populate() {
   PopulateItems();
-  const uint32_t groups = workers();
+  const uint32_t groups = partition_groups();
   if (groups > 1 && !single_threaded_observer_) {
-    // Each worker populates only its own partition group, so the workers
+    // Each thread populates only its own partition group, so the groups
     // are independent up to the (thread-safe) buffer pool and pager.
     std::vector<std::thread> threads;
     threads.reserve(groups);
@@ -101,9 +123,10 @@ void TpccDb::PopulateItems() {
   }
 }
 
-void TpccDb::PopulateWorker(uint32_t worker) {
+void TpccDb::PopulateWorker(uint32_t group) {
   const uint32_t groups = static_cast<uint32_t>(parts_.size());
-  for (uint32_t w = worker + 1; w <= config_.warehouses; w += groups) {
+  assert(group < groups);
+  for (uint32_t w = group + 1; w <= config_.warehouses; w += groups) {
     PopulateWarehouse(w);
   }
 }
@@ -113,7 +136,7 @@ void TpccDb::PopulateWarehouse(uint32_t w) {
   // how warehouses are spread over threads.
   TpccRandom wrnd(config_.seed * 0x9E3779B97F4A7C15ull + w);
   Partition& part = Part(w);
-  std::lock_guard<std::mutex> lock(part.mu);
+  WarehouseState& ws = WState(w);
 
   WarehouseRow wr{};
   wr.w_id = static_cast<int32_t>(w);
@@ -197,7 +220,10 @@ void TpccDb::PopulateWarehouse(uint32_t w) {
       hr.h_date = Now();
       hr.h_amount = 10.0;
       SetField(hr.h_data, wrnd.AString(12, 24));
-      part.history->Insert(HistoryKey(w, d, part.history_seq++), RowView(hr));
+      part.history->Insert(
+          HistoryKey(w, d,
+                     ws.history_seq.fetch_add(1, std::memory_order_relaxed)),
+          RowView(hr));
     }
 
     // Orders: one per customer, customer ids permuted; the oldest ~70%
@@ -290,7 +316,6 @@ bool TpccDb::NewOrder(Session& s) {
   const bool rollback = s.rnd_.Uniform(1, 100) == 1;
 
   Partition& home = Part(w);
-  std::unique_lock<std::mutex> lk(home.mu);
 
   std::string buf;
   WarehouseRow wr;
@@ -317,9 +342,19 @@ bool TpccDb::NewOrder(Session& s) {
     return false;
   }
 
-  const uint32_t o_id = static_cast<uint32_t>(dr.d_next_o_id);
-  dr.d_next_o_id += 1;
-  home.district->Put(DistrictKey(w, d), RowView(dr));
+  // o_id allocation: the district row's only RMW in this transaction,
+  // re-read and bumped under the district mutex. Ownership of the fresh
+  // o_id makes every insert below contention-free.
+  uint32_t o_id;
+  {
+    std::lock_guard<std::mutex> dl(DistrictMutex(w, d));
+    if (!home.district->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
+      return false;
+    }
+    o_id = static_cast<uint32_t>(dr.d_next_o_id);
+    dr.d_next_o_id += 1;
+    home.district->Put(DistrictKey(w, d), RowView(dr));
+  }
 
   OrderRow orow{};
   orow.o_id = static_cast<int32_t>(o_id);
@@ -349,36 +384,25 @@ bool TpccDb::NewOrder(Session& s) {
     ItemRow ir;
     if (!item_->Get(ItemKey(i_id), &buf) || !RowFrom(buf, &ir)) return false;
 
-    // The stock row lives in the supplying warehouse's partition. Its
-    // read-modify-write must run contiguously under that partition's
-    // latch; when the supplier is remote, home is released first so at
-    // most one partition latch is ever held (no deadlock, see class
-    // comment).
+    // Stock read-modify-write under the row's striped lock — the same
+    // path whether the supplying warehouse is local or remote, since the
+    // lock names the row, not a partition.
     StockRow sr;
     Partition& sp = Part(supply_w);
-    bool stock_ok;
-    auto stock_rmw = [&]() {
-      stock_ok = sp.stock->Get(StockKey(supply_w, i_id), &buf) &&
-                 RowFrom(buf, &sr);
-      if (!stock_ok) return;
+    {
+      std::lock_guard<std::mutex> rl(
+          RowLockFor(StockRowHash(supply_w, i_id)));
+      if (!sp.stock->Get(StockKey(supply_w, i_id), &buf) ||
+          !RowFrom(buf, &sr)) {
+        return false;
+      }
       sr.s_quantity = sr.s_quantity >= qty + 10 ? sr.s_quantity - qty
                                                 : sr.s_quantity - qty + 91;
       sr.s_ytd += qty;
       sr.s_order_cnt += 1;
       if (supply_w != w) sr.s_remote_cnt += 1;
       sp.stock->Put(StockKey(supply_w, i_id), RowView(sr));
-    };
-    if (&sp == &home) {
-      stock_rmw();
-    } else {
-      lk.unlock();
-      {
-        std::lock_guard<std::mutex> remote(sp.mu);
-        stock_rmw();
-      }
-      lk.lock();
     }
-    if (!stock_ok) return false;
 
     OrderLineRow ol{};
     ol.ol_o_id = static_cast<int32_t>(o_id);
@@ -397,6 +421,9 @@ bool TpccDb::NewOrder(Session& s) {
   }
   (void)total;
 
+  // ORDER before NEW_ORDER: consistency condition 4 (every NEW_ORDER
+  // row references an existing undelivered order) then holds even for
+  // an observer racing this commit, not just at quiescent points.
   home.order->Insert(OrderKey(w, d, o_id), RowView(orow));
   home.order_customer_idx->Insert(OrderCustomerKey(w, d, c, o_id),
                                   std::string_view());
@@ -455,33 +482,44 @@ bool TpccDb::Payment(Session& s) {
   const double amount = 1.0 + s.rnd_.UniformDouble() * 4999.0;
 
   Partition& home = Part(w);
-  std::unique_lock<std::mutex> lk(home.mu);
 
+  // W_YTD read-modify-write under the warehouse mutex.
   std::string buf;
   WarehouseRow wr;
-  if (!home.warehouse->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
-    return false;
+  {
+    std::lock_guard<std::mutex> wl(WState(w).mu);
+    if (!home.warehouse->Get(WarehouseKey(w), &buf) || !RowFrom(buf, &wr)) {
+      return false;
+    }
+    wr.w_ytd += amount;
+    home.warehouse->Put(WarehouseKey(w), RowView(wr));
   }
-  wr.w_ytd += amount;
-  home.warehouse->Put(WarehouseKey(w), RowView(wr));
 
+  // D_YTD read-modify-write under the district mutex. Both YTD bumps
+  // commit before the transaction can block on any other lock, so the
+  // condition-1 sum invariant holds at every quiescent point.
   DistrictRow dr;
-  if (!home.district->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
-    return false;
+  {
+    std::lock_guard<std::mutex> dl(DistrictMutex(w, d));
+    if (!home.district->Get(DistrictKey(w, d), &buf) || !RowFrom(buf, &dr)) {
+      return false;
+    }
+    dr.d_ytd += amount;
+    home.district->Put(DistrictKey(w, d), RowView(dr));
   }
-  dr.d_ytd += amount;
-  home.district->Put(DistrictKey(w, d), RowView(dr));
 
-  // The customer row (and its selection scan) belongs to c_w's
-  // partition; swap latches when it is remote. The w_ytd/d_ytd invariant
-  // pair was already updated atomically above, so releasing home here is
-  // safe.
+  // Customer selection is a lock-free scan; PickCustomer's snapshot may
+  // be stale by the time we get the row lock, so the RMW re-reads the
+  // chosen row under it.
   CustomerRow cr;
+  if (!PickCustomer(s, c_w, c_d, &cr)) return false;
   Partition& cp = Part(c_w);
-  bool cust_ok;
-  auto customer_rmw = [&]() {
-    cust_ok = PickCustomer(s, c_w, c_d, &cr);
-    if (!cust_ok) return;
+  const uint32_t c_id = static_cast<uint32_t>(cr.c_id);
+  const std::string ckey = CustomerKey(c_w, c_d, c_id);
+  {
+    std::lock_guard<std::mutex> rl(
+        RowLockFor(CustomerRowHash(c_w, c_d, c_id)));
+    if (!cp.customer->Get(ckey, &buf) || !RowFrom(buf, &cr)) return false;
     cr.c_balance -= amount;
     cr.c_ytd_payment += amount;
     cr.c_payment_cnt += 1;
@@ -493,20 +531,8 @@ bool TpccDb::Payment(Session& s) {
       std::string data = info + GetField(cr.c_data);
       SetField(cr.c_data, data);
     }
-    cp.customer->Put(CustomerKey(c_w, c_d, static_cast<uint32_t>(cr.c_id)),
-                     RowView(cr));
-  };
-  if (&cp == &home) {
-    customer_rmw();
-  } else {
-    lk.unlock();
-    {
-      std::lock_guard<std::mutex> remote(cp.mu);
-      customer_rmw();
-    }
-    lk.lock();
+    cp.customer->Put(ckey, RowView(cr));
   }
-  if (!cust_ok) return false;
 
   HistoryRow hr{};
   hr.h_c_id = cr.c_id;
@@ -517,7 +543,13 @@ bool TpccDb::Payment(Session& s) {
   hr.h_date = Now();
   hr.h_amount = amount;
   SetField(hr.h_data, GetField(wr.w_name) + "    " + GetField(dr.d_name));
-  home.history->Insert(HistoryKey(w, d, home.history_seq++), RowView(hr));
+  // History keys embed a per-warehouse atomic sequence, so the insert
+  // needs no lock: the key is unique to this transaction.
+  home.history->Insert(
+      HistoryKey(w, d,
+                 WState(w).history_seq.fetch_add(1,
+                                                 std::memory_order_relaxed)),
+      RowView(hr));
   return true;
 }
 
@@ -525,8 +557,9 @@ bool TpccDb::OrderStatus(Session& s) {
   const uint32_t w = HomeWarehouse(s);
   const uint32_t d = static_cast<uint32_t>(
       s.rnd_.Uniform(1, config_.districts_per_warehouse));
+  // Read-only: every step is a single (internally latched) tree read,
+  // so no locks are taken.
   Partition& home = Part(w);
-  std::lock_guard<std::mutex> lk(home.mu);
 
   CustomerRow cr;
   if (!PickCustomer(s, w, d, &cr)) return false;
@@ -558,15 +591,23 @@ bool TpccDb::Delivery(Session& s) {
   std::string buf;
 
   Partition& home = Part(w);
-  std::lock_guard<std::mutex> lk(home.mu);
 
   for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
-    // Oldest undelivered order for the district.
-    const std::string prefix = NewOrderKey(w, d, 0).substr(0, 8);
-    auto it = home.new_order->Seek(prefix);
-    if (!it.Valid() || !HasPrefix(it.key(), prefix)) continue;
-    const uint32_t o_id = ReadU32(it.key(), 8);
-    home.new_order->Delete(NewOrderKey(w, d, o_id));
+    // Dequeue the oldest undelivered order atomically under the district
+    // mutex. A successful delete confers exclusive ownership of o_id, so
+    // the order / order-line updates below need no further locking.
+    uint32_t o_id = 0;
+    bool claimed = false;
+    {
+      std::lock_guard<std::mutex> dl(DistrictMutex(w, d));
+      const std::string prefix = NewOrderKey(w, d, 0).substr(0, 8);
+      auto it = home.new_order->Seek(prefix);
+      if (it.Valid() && HasPrefix(it.key(), prefix)) {
+        o_id = ReadU32(it.key(), 8);
+        claimed = home.new_order->Delete(NewOrderKey(w, d, o_id));
+      }
+    }
+    if (!claimed) continue;
 
     OrderRow orow;
     if (!home.order->Get(OrderKey(w, d, o_id), &buf) ||
@@ -588,13 +629,18 @@ bool TpccDb::Delivery(Session& s) {
       home.order_line->Put(key, RowView(ol));
     }
 
+    // Customer balance RMW shares the striped row locks with Payment.
     CustomerRow cr;
-    const std::string ckey =
-        CustomerKey(w, d, static_cast<uint32_t>(orow.o_c_id));
-    if (home.customer->Get(ckey, &buf) && RowFrom(buf, &cr)) {
-      cr.c_balance += total;
-      cr.c_delivery_cnt += 1;
-      home.customer->Put(ckey, RowView(cr));
+    const uint32_t c_id = static_cast<uint32_t>(orow.o_c_id);
+    const std::string ckey = CustomerKey(w, d, c_id);
+    {
+      std::lock_guard<std::mutex> rl(
+          RowLockFor(CustomerRowHash(w, d, c_id)));
+      if (home.customer->Get(ckey, &buf) && RowFrom(buf, &cr)) {
+        cr.c_balance += total;
+        cr.c_delivery_cnt += 1;
+        home.customer->Put(ckey, RowView(cr));
+      }
     }
     delivered_any = true;
   }
@@ -607,8 +653,10 @@ bool TpccDb::StockLevel(Session& s) {
       s.rnd_.Uniform(1, config_.districts_per_warehouse));
   const int32_t threshold = static_cast<int32_t>(s.rnd_.Uniform(10, 20));
 
+  // Read-only: the district fetch and each stock probe are single tree
+  // reads, so no locks are taken (the scan sees some consistent-enough
+  // recent window, which is all clause 2.8 needs).
   Partition& home = Part(w);
-  std::lock_guard<std::mutex> lk(home.mu);
 
   std::string buf;
   DistrictRow dr;

@@ -35,10 +35,12 @@ struct TpccConfig {
   /// scaled to the database; ~10% of the DB is a comparable ratio).
   size_t buffer_pool_pages = 4096;
   uint64_t seed = 7;
-  /// Worker-thread count the database is laid out for: the
-  /// warehouse-keyed tables are split into min(workers, warehouses)
-  /// partition groups (warehouse w belongs to group (w-1) % groups) and
-  /// each worker gets per-warehouse affinity over its own group. 1 keeps
+  /// Worker-session count. The warehouse-keyed tables are split into
+  /// min(workers, warehouses) partition groups (warehouse w belongs to
+  /// group (w-1) % groups) so traces stay comparable across layouts, but
+  /// the B+-tree is latch-coupled and every tree supports concurrent
+  /// access — workers may exceed warehouses, in which case several
+  /// workers share a group (worker t drives group t % groups). 1 keeps
   /// the layout and behaviour of the single-threaded engine.
   uint32_t workers = 1;
   /// Buffer-pool replacement policy (btree/eviction_policy.h). Eviction
@@ -60,20 +62,27 @@ struct TpccConfig {
 /// into a Trace — regenerating the kind of trace the paper replays
 /// through the cleaning simulator (§6.3).
 ///
-/// Concurrency. With config.workers > 1 the warehouse-keyed tables are
-/// partitioned into worker groups (the ITEM table stays shared: it is
-/// read-only after Populate). Each partition group owns one mutex; a
-/// transaction runs on its home partition's trees under that mutex and
-/// dips into a remote partition (NewOrder's 1% remote stock, Payment's
-/// 15% remote customer) by *releasing* the home latch, taking the remote
-/// one for the row's read-modify-write, and re-acquiring home — at most
-/// one partition latch is ever held, so the scheme cannot deadlock.
-/// Every multi-row TPC-C invariant (W_YTD vs D_YTD, order ids, order
-/// lines, NEW_ORDER references) is intra-warehouse and therefore
-/// intra-partition, and every remote access is a self-contained row RMW
-/// under the owning partition's latch, so consistency holds at any
-/// quiescent point. Worker threads drive transactions through Session
-/// objects (their own RNG stream + home-warehouse set).
+/// Concurrency. The trees are latch-coupled B+-trees, safe for any mix
+/// of concurrent readers and writers, so workers may outnumber
+/// warehouses: there is no partition-group mutex. What remains above the
+/// tree layer is row-level mutual exclusion for multi-step
+/// read-modify-writes, provided by short fine-grained locks:
+///   - one mutex per warehouse (Payment's W_YTD RMW),
+///   - one mutex per district (NewOrder's o_id allocation, Payment's
+///     D_YTD RMW, Delivery's atomic dequeue of the oldest NEW_ORDER),
+///   - a striped row-lock table for stock and customer row RMWs
+///     (NewOrder stock updates, Payment/Delivery customer updates).
+/// A transaction holds at most one of these locks at a time (each
+/// guards one self-contained RMW and is released before the next is
+/// taken), so the scheme cannot deadlock regardless of remote
+/// warehouses. Pure reads (OrderStatus, StockLevel, selection scans)
+/// take no locks at all: the tree latches make each individual
+/// operation atomic, and inserts keyed by a freshly allocated o_id or
+/// history sequence number need no lock because the key is unique to
+/// the allocating transaction. Every TPC-C consistency condition is a
+/// sum/ownership invariant restored at transaction commit, so it holds
+/// at any quiescent point. Worker threads drive transactions through
+/// Session objects (their own RNG stream + home-warehouse set).
 ///
 /// Simplifications (documented): logical timestamps, no WAL (the trace
 /// captures data-page writes only, as the paper's did), and the 1%
@@ -118,20 +127,29 @@ class TpccDb {
   TpccDb& operator=(const TpccDb&) = delete;
 
   /// Loads the initial database per the standard's population rules.
-  /// Equivalent to PopulateItems() + PopulateWorker(0..workers-1); runs
-  /// the worker loop on internal threads when workers > 1 *and* no
-  /// single-Trace observer needs attribution (callers wanting per-thread
-  /// trace buffers drive PopulateWorker from their own threads instead).
+  /// Equivalent to PopulateItems() + PopulateWorker(0..groups-1); runs
+  /// the group loop on internal threads when partition_groups() > 1
+  /// *and* no single-Trace observer needs attribution (callers wanting
+  /// per-thread trace buffers drive PopulateWorker from their own
+  /// threads instead).
   void Populate();
 
   /// Population, split for caller-owned threading: items first (shared
-  /// table, call once), then each worker's warehouse group (safe to run
-  /// all workers concurrently — each touches only its own partition).
+  /// table, call once), then one call per partition group in
+  /// [0, partition_groups()) (safe to run all groups concurrently —
+  /// each touches only its own group's warehouses).
   void PopulateItems();
-  void PopulateWorker(uint32_t worker);
+  void PopulateWorker(uint32_t group);
+
+  /// Number of worker sessions the database is laid out for
+  /// (config.workers; may exceed warehouses — several sessions then
+  /// share a partition group).
+  uint32_t workers() const {
+    return config_.workers < 1 ? 1 : config_.workers;
+  }
 
   /// Number of partition groups (min(config.workers, warehouses)).
-  uint32_t workers() const {
+  uint32_t partition_groups() const {
     return static_cast<uint32_t>(parts_.size());
   }
 
@@ -187,11 +205,10 @@ class TpccDb {
   Status CheckConsistency();
 
  private:
-  // One worker group's share of the warehouse-keyed tables, plus the
-  // latch that serialises every access to them. Cache-line aligned so
-  // neighbouring latches do not false-share.
-  struct alignas(64) Partition {
-    std::mutex mu;
+  // One worker group's share of the warehouse-keyed tables. The trees
+  // themselves are safe for concurrent access; grouping exists so trace
+  // layouts stay comparable across worker counts.
+  struct Partition {
     std::unique_ptr<BTree> warehouse;
     std::unique_ptr<BTree> district;
     std::unique_ptr<BTree> customer;
@@ -203,7 +220,15 @@ class TpccDb {
     // Secondary indexes.
     std::unique_ptr<BTree> customer_name_idx;
     std::unique_ptr<BTree> order_customer_idx;
-    uint64_t history_seq = 0;  // under mu
+  };
+
+  // Fine-grained lock state for one warehouse (see the class comment's
+  // concurrency section). Cache-line aligned so neighbouring warehouses'
+  // locks do not false-share.
+  struct alignas(64) WarehouseState {
+    std::mutex mu;  // W_YTD read-modify-write (Payment)
+    std::atomic<uint64_t> history_seq{0};
+    std::unique_ptr<std::mutex[]> district_mu;  // [districts_per_warehouse]
   };
 
   void InitPartitions();
@@ -213,10 +238,22 @@ class TpccDb {
     return *parts_[(w - 1) % parts_.size()];
   }
 
-  // Worker `worker`'s home-warehouse count and i-th (1-based) warehouse.
+  WarehouseState& WState(uint32_t w) { return *wstate_[w - 1]; }
+  std::mutex& DistrictMutex(uint32_t w, uint32_t d) {
+    return WState(w).district_mu[d - 1];
+  }
+  // Striped row locks for stock/customer RMWs; `h` is a row-identity
+  // hash (table tag + key columns). Aliasing across stripes only adds
+  // serialisation, never affects correctness.
+  std::mutex& RowLockFor(uint64_t h) {
+    return row_locks_[h % kRowLockStripes];
+  }
+
+  // Worker `worker`'s home-warehouse count and i-th (1-based) warehouse;
+  // workers beyond the group count share their group's warehouses.
   uint32_t HomeWarehouseCount(uint32_t worker) const {
-    return (config_.warehouses - 1 - worker) /
-               static_cast<uint32_t>(parts_.size()) + 1;
+    const uint32_t groups = static_cast<uint32_t>(parts_.size());
+    return (config_.warehouses - 1 - worker % groups) / groups + 1;
   }
   uint32_t HomeWarehouse(Session& s);
 
@@ -226,7 +263,9 @@ class TpccDb {
 
   // Order-Status / Payment customer selection: 60% by last name (middle
   // matching row), 40% by NURand id. Returns false if no such customer.
-  // Caller must hold Part(w).mu.
+  // Lock-free: the name index is read-only after Populate and the row
+  // fetch is a single tree read; RMW callers re-read the chosen row
+  // under its row lock.
   bool PickCustomer(Session& s, uint32_t w, uint32_t d, CustomerRow* row);
 
   int64_t Now() {
@@ -241,6 +280,10 @@ class TpccDb {
 
   std::vector<std::unique_ptr<Partition>> parts_;
   std::unique_ptr<BTree> item_;  // shared; read-only after Populate
+
+  static constexpr size_t kRowLockStripes = 1024;
+  std::vector<std::unique_ptr<WarehouseState>> wstate_;  // [warehouses]
+  std::unique_ptr<std::mutex[]> row_locks_;
 
   Session session0_;
   /// True when constructed over a single (not thread-safe) Trace;

@@ -78,13 +78,13 @@ TpccTraceResult GenerateParallel(const TpccConfig& config,
                                  uint64_t warm_txns, uint64_t measure_txns,
                                  uint64_t checkpoint_every) {
   TpccTraceResult result;
-  // One buffer per worker plus one for the coordinator (boundary
+  // One buffer per worker session plus one for the coordinator (boundary
   // checkpoints). A write-back is recorded by whichever thread triggered
   // the eviction/flush, into that thread's own buffer — the observer
-  // itself needs no lock. The count MUST be the engine's own
-  // partition-group formula: worker t writes bufs[t] for every t the
-  // db will hand out.
-  const uint32_t workers = config.PartitionGroups();
+  // itself needs no lock. The count MUST match the engine's session
+  // count: worker t writes bufs[t] for every t the db will hand out
+  // (population threads, one per partition group, reuse the low bufs).
+  const uint32_t workers = config.workers < 1 ? 1 : config.workers;
   std::vector<Trace> bufs(workers + 1);
   TpccDb db(config, BufferPool::WriteObserver([&bufs, workers](PageNo p) {
               Trace* t = tls_trace;
@@ -100,13 +100,14 @@ TpccTraceResult GenerateParallel(const TpccConfig& config,
 
   tls_trace = &bufs[workers];
 
-  // Population: items on the coordinator, each worker's warehouse group
-  // on its own thread.
+  // Population: items on the coordinator, each partition group's
+  // warehouses on its own thread (groups, not sessions, partition the
+  // load — extra sessions would have nothing to populate).
   db.PopulateItems();
   {
     std::vector<std::thread> threads;
-    threads.reserve(db.workers());
-    for (uint32_t t = 0; t < db.workers(); ++t) {
+    threads.reserve(db.partition_groups());
+    for (uint32_t t = 0; t < db.partition_groups(); ++t) {
       threads.emplace_back([&db, &bufs, t] {
         tls_trace = &bufs[t];
         db.PopulateWorker(t);
@@ -165,8 +166,10 @@ TpccTraceResult GenerateTpccTrace(const TpccConfig& config,
                                   uint64_t checkpoint_every,
                                   uint32_t presplit_shards) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Workers beyond the warehouse count no longer force a serial run: the
+  // latch-coupled trees let sessions share partition groups.
   TpccTraceResult result =
-      (config.workers <= 1 || config.warehouses <= 1)
+      config.workers <= 1
           ? GenerateSerial(config, warm_txns, measure_txns, checkpoint_every)
           : GenerateParallel(config, warm_txns, measure_txns,
                              checkpoint_every);

@@ -14,7 +14,7 @@ namespace lss::tpcc {
 /// keys (bench/fig6_tpcc.cc's $TMPDIR trace cache) must mix this in so
 /// stale cached traces regenerate instead of silently replaying old
 /// data.
-inline constexpr uint32_t kTpccTraceFormatVersion = 3;
+inline constexpr uint32_t kTpccTraceFormatVersion = 4;
 
 /// Output of a TPC-C trace-collection run (the paper's §6.3 pipeline:
 /// run TPC-C on the B+-tree engine, collect page-write I/O, then replay
@@ -32,8 +32,8 @@ struct TpccTraceResult {
   uint64_t pages_final = 0;
   /// Transactions executed in warm-up + measurement.
   uint64_t transactions = 0;
-  /// Worker threads that generated the trace (min(config.workers,
-  /// warehouses)).
+  /// Worker threads that generated the trace (config.workers; the
+  /// latch-coupled engine lets workers exceed warehouses).
   uint32_t workers = 1;
   /// Wall-clock seconds spent generating (populate + all transactions).
   double generation_seconds = 0.0;

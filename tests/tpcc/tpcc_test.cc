@@ -275,22 +275,31 @@ TEST(TpccParallelTest, ParallelTraceGenerationCoversDatabase) {
   EXPECT_EQ(covered, r.pages_after_load);
 }
 
-TEST(TpccParallelTest, WorkerClampAndHomeAffinity) {
-  // More workers than warehouses clamps to one partition group per
-  // warehouse; sessions then stay valid for every group.
+TEST(TpccParallelTest, WorkersBeyondWarehousesShareGroups) {
+  // Workers are no longer clamped to the warehouse count: 8 sessions
+  // over 2 warehouses share 2 partition groups (worker t drives group
+  // t % 2), all running the same trees concurrently through the
+  // latch-coupled engine.
   TpccConfig cfg = MiniConfig();
   cfg.warehouses = 2;
   cfg.workers = 8;
   TpccDb db(cfg);
-  EXPECT_EQ(db.workers(), 2u);
+  EXPECT_EQ(db.workers(), 8u);
+  EXPECT_EQ(db.partition_groups(), 2u);
   db.Populate();
+  ASSERT_TRUE(db.CheckConsistency().ok());
+
   std::vector<TpccDb::Session> sessions;
   for (uint32_t t = 0; t < db.workers(); ++t) {
     sessions.push_back(db.MakeSession(t));
   }
+  std::vector<std::thread> threads;
   for (uint32_t t = 0; t < db.workers(); ++t) {
-    for (int i = 0; i < 50; ++i) db.RunNextTransaction(sessions[t]);
+    threads.emplace_back([&db, &sessions, t] {
+      for (int i = 0; i < 300; ++i) db.RunNextTransaction(sessions[t]);
+    });
   }
+  for (std::thread& th : threads) th.join();
   ASSERT_TRUE(db.CheckConsistency().ok());
 }
 
