@@ -1,5 +1,7 @@
 #include "core/io_backend.h"
 
+#include "core/uring_backend.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -52,6 +54,8 @@ std::unique_ptr<SegmentBackend> MakeBackend(const StoreConfig& config) {
       return std::make_unique<NullBackend>();
     case BackendKind::kFile:
       return std::make_unique<FileBackend>();
+    case BackendKind::kUring:
+      return std::make_unique<UringBackend>();
   }
   return std::make_unique<NullBackend>();
 }
@@ -87,6 +91,13 @@ Status FileBackend::RehomeEntries(const BackendSegmentRecord&) {
   return Status::InvalidArgument("file backend not open");
 }
 Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord&, bool) {
+  return Status::InvalidArgument("file backend not open");
+}
+uint8_t* FileBackend::AcquirePayloadBuffer() { return nullptr; }
+Status FileBackend::WritePayload(const uint8_t*, uint64_t, uint64_t) {
+  return Status::InvalidArgument("file backend not open");
+}
+Status FileBackend::SyncBoth() {
   return Status::InvalidArgument("file backend not open");
 }
 Status FileBackend::Sync() {
@@ -456,6 +467,23 @@ Status FileBackend::AppendMeta(const void* data, size_t len) {
   return Status::OK();
 }
 
+uint8_t* FileBackend::AcquirePayloadBuffer() { return payload_buf_; }
+
+// The base payload write: a blocking full-length pwrite, timed into the
+// device counters. UringBackend overrides this with SQE submission.
+Status FileBackend::WritePayload(const uint8_t* buf, uint64_t len,
+                                 uint64_t offset) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = PwriteAll(data_fd_, buf, len, offset);
+  if (!s.ok()) return s;
+  if (stats_ != nullptr) {
+    stats_->device_bytes_written += len;
+    stats_->device_write_ops += 1;
+    stats_->device_write_seconds += SecondsSince(t0);
+  }
+  return Status::OK();
+}
+
 Status FileBackend::SyncBoth() {
   if (!config_.backend_fsync) return Status::OK();
   const auto t0 = std::chrono::steady_clock::now();
@@ -584,6 +612,10 @@ Status FileBackend::CheckpointDelta(const BackendSegmentRecord& record) {
   // Suffix payload, built at buffer offset (entry.offset - suffix_offset).
   // Entries must tile the declared range exactly — a mismatch means the
   // caller's watermark bookkeeping is broken.
+  uint8_t* buf = AcquirePayloadBuffer();
+  if (buf == nullptr) {
+    return Status::Corruption("delta checkpoint: no payload buffer");
+  }
   uint64_t cursor = record.suffix_offset;
   for (const Segment::Entry& e : record.entries) {
     if (e.offset != cursor ||
@@ -593,9 +625,9 @@ Status FileBackend::CheckpointDelta(const BackendSegmentRecord& record) {
     const PageId payload_page = e.page != kInvalidPage ? e.page : e.orig_page;
     if (payload_page != kInvalidPage) {
       FillPagePayload(payload_page, e.bytes,
-                      payload_buf_ + (cursor - record.suffix_offset));
+                      buf + (cursor - record.suffix_offset));
     } else {
-      std::memset(payload_buf_ + (cursor - record.suffix_offset), 0, e.bytes);
+      std::memset(buf + (cursor - record.suffix_offset), 0, e.bytes);
     }
     cursor += e.bytes;
   }
@@ -604,16 +636,10 @@ Status FileBackend::CheckpointDelta(const BackendSegmentRecord& record) {
   }
 
   if (record.suffix_length > 0) {
-    const auto t0 = std::chrono::steady_clock::now();
-    s = PwriteAll(data_fd_, payload_buf_, record.suffix_length,
-                  static_cast<uint64_t>(record.id) * config_.segment_bytes +
-                      record.suffix_offset);
+    s = WritePayload(buf, record.suffix_length,
+                     static_cast<uint64_t>(record.id) * config_.segment_bytes +
+                         record.suffix_offset);
     if (!s.ok()) return s;
-    if (stats_ != nullptr) {
-      stats_->device_bytes_written += record.suffix_length;
-      stats_->device_write_ops += 1;
-      stats_->device_write_seconds += SecondsSince(t0);
-    }
   }
 
   std::vector<uint8_t> meta_body(sizeof(DeltaBody) +
@@ -745,6 +771,8 @@ Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord& record,
   // only referencing record dies with the crash. Only entries whose
   // original page is unknown (recovery-reconstructed dead entries, never
   // rewritten) and the unused tail are zero-filled.
+  uint8_t* buf = AcquirePayloadBuffer();
+  if (buf == nullptr) return Status::Corruption("seal: no payload buffer");
   uint64_t cursor = 0;
   for (const Segment::Entry& e : record.entries) {
     if (cursor + e.bytes > config_.segment_bytes) {
@@ -752,23 +780,17 @@ Status FileBackend::WriteSegmentRecord(const BackendSegmentRecord& record,
     }
     const PageId payload_page = e.page != kInvalidPage ? e.page : e.orig_page;
     if (payload_page != kInvalidPage) {
-      FillPagePayload(payload_page, e.bytes, payload_buf_ + cursor);
+      FillPagePayload(payload_page, e.bytes, buf + cursor);
     } else {
-      std::memset(payload_buf_ + cursor, 0, e.bytes);
+      std::memset(buf + cursor, 0, e.bytes);
     }
     cursor += e.bytes;
   }
-  std::memset(payload_buf_ + cursor, 0, config_.segment_bytes - cursor);
+  std::memset(buf + cursor, 0, config_.segment_bytes - cursor);
 
-  const auto t0 = std::chrono::steady_clock::now();
-  s = PwriteAll(data_fd_, payload_buf_, config_.segment_bytes,
-                static_cast<uint64_t>(record.id) * config_.segment_bytes);
+  s = WritePayload(buf, config_.segment_bytes,
+                   static_cast<uint64_t>(record.id) * config_.segment_bytes);
   if (!s.ok()) return s;
-  if (stats_ != nullptr) {
-    stats_->device_bytes_written += config_.segment_bytes;
-    stats_->device_write_ops += 1;
-    stats_->device_write_seconds += SecondsSince(t0);
-  }
 
   // Metadata record: body + entry array, checksummed as one record.
   std::vector<uint8_t> meta_body(sizeof(SealBody) +
@@ -1191,8 +1213,12 @@ bool FaultInjectionBackend::CrashGate(Status* out,
 }
 
 void FaultInjectionBackend::TearAndDie(const BackendSegmentRecord* record) {
+  // The uring backend shares the file backend's on-disk layout (same
+  // DataPath/MetaPath, byte-identical metadata log), so its crash tear
+  // is the same file surgery.
   const bool file_base =
-      base_->name() == "file" && config_.backend == BackendKind::kFile;
+      (base_->name() == "file" && config_.backend == BackendKind::kFile) ||
+      (base_->name() == "uring" && config_.backend == BackendKind::kUring);
   // Drop the base first: its queued free records and any other pending
   // work die with the "process", never reaching the files we tear below.
   base_->Abandon();

@@ -16,6 +16,13 @@ SealPipeline::~SealPipeline() { Shutdown(); }
 void SealPipeline::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return;
+  {
+    // Publish what Open/Scan already accumulated (recovery device
+    // counters, the uring capability flag) — a snapshot taken before the
+    // first batch must not read as "no backend activity".
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    published_stats_ = backend_stats_;
+  }
   backend_->SetDeferredSync(true);
   started_ = true;
   stop_ = false;

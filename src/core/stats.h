@@ -55,10 +55,33 @@ class StoreStats {
   uint64_t device_fsyncs = 0;
   /// Payload bytes released back to the filesystem via hole punching.
   uint64_t device_bytes_punched = 0;
-  /// Wall-clock seconds spent inside pwrite.
+  /// Wall-clock seconds spent inside pwrite (for the uring backend:
+  /// inside buffer packing + SQE submission, the only part of a payload
+  /// write that blocks the calling thread).
   double device_write_seconds = 0.0;
   /// Wall-clock seconds spent inside fsync.
   double device_fsync_seconds = 0.0;
+
+  // --- io_uring backend (all zero on other backends; see
+  // --- core/uring_backend.h) ------------------------------------------
+
+  /// Shard backends whose capability probe found a working ring (a
+  /// kUring store with uring_available == 0 is running the probe's
+  /// pwrite fallback everywhere). Capability flag, not a measurement:
+  /// ResetMeasurement leaves it alone.
+  uint64_t uring_available = 0;
+  /// Payload-write SQEs submitted to the ring.
+  uint64_t uring_submitted = 0;
+  /// CQEs reaped (payload writes + ring-issued fsyncs).
+  uint64_t uring_completed = 0;
+  /// Short payload writes patched with a synchronous pwrite of the
+  /// remainder (essentially ENOSPC territory; always worth surfacing).
+  uint64_t uring_short_writes = 0;
+  /// Wall-clock seconds the calling thread spent waiting on CQEs (the
+  /// durability barrier in Sync/seal paths). Device work that finished
+  /// while the CPU packed the next segment costs nothing here — that
+  /// overlap is the point of the backend.
+  double uring_wait_seconds = 0.0;
 
   // --- Async seal pipeline (all zero in synchronous mode; see
   // --- core/seal_pipeline.h) ------------------------------------------
@@ -138,9 +161,20 @@ class StoreStats {
            static_cast<double>(user_bytes_written);
   }
 
-  /// Wall-clock seconds of device work (writes + fsyncs).
+  /// Wall-clock seconds of device work (writes + fsyncs + CQE waits).
   double DeviceSeconds() const {
-    return device_write_seconds + device_fsync_seconds;
+    return device_write_seconds + device_fsync_seconds + uring_wait_seconds;
+  }
+
+  /// Wall-clock seconds the thread driving the backend (the seal
+  /// pipeline's I/O thread in async mode, the writer itself in sync
+  /// mode) spent *blocked* on device work. For the file backend this is
+  /// all of DeviceSeconds(); for the uring backend the payload pwrite
+  /// time is replaced by submit time + CQE-wait time, so the difference
+  /// against the file backend at equal fsync policy is the overlap the
+  /// ring bought.
+  double BackendBlockingSeconds() const {
+    return device_write_seconds + device_fsync_seconds + uring_wait_seconds;
   }
 
   /// Accumulates another store's counters into this one (ShardedStore
@@ -163,6 +197,11 @@ class StoreStats {
     device_bytes_punched += other.device_bytes_punched;
     device_write_seconds += other.device_write_seconds;
     device_fsync_seconds += other.device_fsync_seconds;
+    uring_available += other.uring_available;
+    uring_submitted += other.uring_submitted;
+    uring_completed += other.uring_completed;
+    uring_short_writes += other.uring_short_writes;
+    uring_wait_seconds += other.uring_wait_seconds;
     seal_queue_enqueued += other.seal_queue_enqueued;
     seal_queue_stalls += other.seal_queue_stalls;
     group_fsyncs += other.group_fsyncs;
@@ -197,6 +236,13 @@ class StoreStats {
     device_bytes_punched = 0;
     device_write_seconds = 0.0;
     device_fsync_seconds = 0.0;
+    // uring_available is a capability flag set once at Open; zeroing it
+    // between warmup and measurement would erase a fact that has not
+    // changed, so it deliberately survives.
+    uring_submitted = 0;
+    uring_completed = 0;
+    uring_short_writes = 0;
+    uring_wait_seconds = 0.0;
     seal_queue_enqueued = 0;
     seal_queue_stalls = 0;
     group_fsyncs = 0;

@@ -26,6 +26,9 @@ void FillDeviceMetrics(const StoreStats& stats, RunResult* r) {
   r->device_bytes_per_user_byte = stats.DeviceBytesPerUserByte();
   r->device_seconds = stats.DeviceSeconds();
   r->device_fsyncs = stats.device_fsyncs;
+  r->backend_blocking_seconds = stats.BackendBlockingSeconds();
+  r->uring_available = stats.uring_available;
+  r->uring_submitted = stats.uring_submitted;
   r->group_fsyncs = stats.group_fsyncs;
   r->seal_queue_stalls = stats.seal_queue_stalls;
   r->checkpoints_written = stats.checkpoints_written;

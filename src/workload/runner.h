@@ -54,6 +54,16 @@ struct RunResult {
   double device_seconds = 0.0;
   /// fsync calls during measurement.
   uint64_t device_fsyncs = 0;
+  /// Seconds the thread driving the backend spent *blocked* on device
+  /// work (StoreStats::BackendBlockingSeconds): for the file backend all
+  /// of device_seconds, for the uring backend submit + CQE-wait time —
+  /// the difference at equal fsync policy is the overlap the ring bought.
+  double backend_blocking_seconds = 0.0;
+  /// Shards whose io_uring capability probe found a working ring (zero
+  /// on other backends or when the kernel/seccomp disallows io_uring).
+  uint64_t uring_available = 0;
+  /// Payload-write SQEs submitted during measurement (uring backend).
+  uint64_t uring_submitted = 0;
 
   // --- Async seal pipeline (zero in synchronous mode) -----------------
 
